@@ -1,0 +1,97 @@
+#ifndef CSAT_BENCH_BENCH_UTIL_H
+#define CSAT_BENCH_BENCH_UTIL_H
+
+/// \file bench_util.h
+/// Shared helpers for the experiment harness binaries: light-weight flag
+/// parsing, summary statistics, and the "cactus" (instances solved vs
+/// cumulative runtime) rendering used by the paper's Fig. 4/5.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace csat::bench {
+
+/// Minimal `--key=value` flag reader.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto v = find(key);
+    return v.empty() ? fallback : std::atol(v.c_str());
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    const auto v = find(key);
+    return v.empty() ? fallback : v;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    const std::string flag = "--" + key;
+    for (const auto& a : args_)
+      if (a == flag || a.rfind(flag + "=", 0) == 0) return true;
+    return false;
+  }
+
+ private:
+  [[nodiscard]] std::string find(const std::string& key) const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_)
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    return {};
+  }
+
+  std::vector<std::string> args_;
+};
+
+struct Summary {
+  double avg = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  for (double x : xs) s.avg += x;
+  s.avg /= static_cast<double>(xs.size());
+  for (double x : xs) s.stddev += (x - s.avg) * (x - s.avg);
+  s.stddev = std::sqrt(s.stddev / static_cast<double>(xs.size()));
+  return s;
+}
+
+/// Prints the paper's cactus view: after sorting per-instance runtimes,
+/// shows cumulative time checkpoints, ending with the total (the number the
+/// paper annotates on each curve).
+inline void print_cactus(const char* label, std::vector<double> runtimes,
+                         int solved, double timeout_charge) {
+  std::sort(runtimes.begin(), runtimes.end());
+  double cumulative = 0.0;
+  std::printf("  %-12s solved %3d/%3zu | cumulative runtime: ", label, solved,
+              runtimes.size());
+  const std::size_t steps = 5;
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const std::size_t upto = runtimes.size() * i / steps;
+    double c = 0.0;
+    for (std::size_t j = 0; j < upto; ++j) c += runtimes[j];
+    std::printf("%s%.1fs@%zu", i == 1 ? "" : "  ", c, upto);
+  }
+  for (double r : runtimes) cumulative += r;
+  std::printf("  | TOTAL %.2fs (timeouts charged %.0fs)\n", cumulative,
+              timeout_charge);
+}
+
+}  // namespace csat::bench
+
+#endif  // CSAT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks for the CDCL solver — the substrate
+// whose decision counter drives the RL reward and whose runtime dominates
+// the paper's evaluation. Covers both presets (kissat-like, cadical-like)
+// on representative families: random 3-SAT near threshold, pigeonhole
+// (UNSAT, resolution-hard) and an adder-equivalence miter CNF.
+
+#include <benchmark/benchmark.h>
+
+#include "cnf/tseitin.h"
+#include "common/rng.h"
+#include "gen/arith.h"
+#include "gen/miter.h"
+#include "sat/solver.h"
+
+using namespace csat;
+
+namespace {
+
+cnf::Cnf random_3sat(int vars, double ratio, std::uint64_t seed) {
+  Rng rng(seed);
+  cnf::Cnf f;
+  f.add_vars(vars);
+  const int clauses = static_cast<int>(vars * ratio);
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<cnf::Lit> c;
+    while (c.size() < 3) {
+      const auto v = static_cast<std::uint32_t>(rng.next_below(vars));
+      bool dup = false;
+      for (auto l : c) dup |= l.var() == v;
+      if (!dup) c.push_back(cnf::Lit::make(v, rng.next_bool()));
+    }
+    f.add_clause(c);
+  }
+  return f;
+}
+
+cnf::Cnf pigeonhole(int holes) {
+  const int pigeons = holes + 1;
+  cnf::Cnf f;
+  f.add_vars(pigeons * holes);
+  const auto var = [&](int p, int h) {
+    return static_cast<std::uint32_t>(p * holes + h);
+  };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<cnf::Lit> clause;
+    for (int h = 0; h < holes; ++h)
+      clause.push_back(cnf::Lit::make(var(p, h), false));
+    f.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        f.add_binary(cnf::Lit::make(var(p1, h), true),
+                     cnf::Lit::make(var(p2, h), true));
+  return f;
+}
+
+cnf::Cnf adder_miter_cnf(int width) {
+  aig::Aig g1, g2;
+  {
+    const auto a = gen::input_word(g1, width);
+    const auto b = gen::input_word(g1, width);
+    for (aig::Lit l : gen::ripple_carry_add(g1, a, b, aig::kFalse, true))
+      g1.add_po(l);
+  }
+  {
+    const auto a = gen::input_word(g2, width);
+    const auto b = gen::input_word(g2, width);
+    for (aig::Lit l : gen::kogge_stone_add(g2, a, b, aig::kFalse, true))
+      g2.add_po(l);
+  }
+  return cnf::tseitin_encode(gen::make_miter(g1, g2)).cnf;
+}
+
+sat::SolverConfig preset(int index) {
+  return index == 0 ? sat::SolverConfig::kissat_like()
+                    : sat::SolverConfig::cadical_like();
+}
+
+void report_stats(benchmark::State& state, const sat::SolveResult& r) {
+  state.counters["decisions"] = static_cast<double>(r.stats.decisions);
+  state.counters["conflicts"] = static_cast<double>(r.stats.conflicts);
+  state.counters["propagations"] = static_cast<double>(r.stats.propagations);
+}
+
+void BM_Random3SatNearThreshold(benchmark::State& state) {
+  const cnf::Cnf f = random_3sat(static_cast<int>(state.range(0)), 4.26, 42);
+  sat::SolveResult last;
+  for (auto _ : state) {
+    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
+    benchmark::DoNotOptimize(last.status);
+  }
+  report_stats(state, last);
+}
+
+void BM_Pigeonhole(benchmark::State& state) {
+  const cnf::Cnf f = pigeonhole(static_cast<int>(state.range(0)));
+  sat::SolveResult last;
+  for (auto _ : state) {
+    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
+    benchmark::DoNotOptimize(last.status);
+  }
+  report_stats(state, last);
+}
+
+void BM_AdderMiterUnsat(benchmark::State& state) {
+  const cnf::Cnf f = adder_miter_cnf(static_cast<int>(state.range(0)));
+  sat::SolveResult last;
+  for (auto _ : state) {
+    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
+    benchmark::DoNotOptimize(last.status);
+  }
+  report_stats(state, last);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Random3SatNearThreshold)
+    ->Args({60, 0})
+    ->Args({60, 1})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pigeonhole)
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Args({7, 0})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdderMiterUnsat)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

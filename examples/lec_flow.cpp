@@ -1,0 +1,108 @@
+// Logic-equivalence-checking flow: the first industrial workload the paper
+// targets. Compares datapath implementations pair by pair, reporting
+// EQUIVALENT / NOT-EQUIVALENT with counterexamples, and shows how the
+// preprocessing framework accelerates the underlying CSAT solving.
+//
+//   $ ./lec_flow [width]        (default width 6)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "aig/simulate.h"
+#include "core/pipeline.h"
+#include "gen/arith.h"
+#include "gen/miter.h"
+
+using namespace csat;
+
+namespace {
+
+struct LecOutcome {
+  bool equivalent = false;
+  double baseline_s = 0.0;
+  double ours_s = 0.0;
+  std::vector<bool> counterexample;
+};
+
+LecOutcome check_equivalence(const aig::Aig& a, const aig::Aig& b) {
+  const aig::Aig miter = gen::make_miter(a, b);
+  LecOutcome out;
+
+  core::PipelineOptions base;
+  base.mode = core::PipelineMode::kBaseline;
+  base.limits.max_conflicts = 2000000;
+  const auto rb = core::solve_instance(miter, base);
+  out.baseline_s = rb.total_seconds();
+
+  core::PipelineOptions ours;
+  ours.mode = core::PipelineMode::kOurs;
+  ours.limits.max_conflicts = 2000000;
+  const auto ro = core::solve_instance(miter, ours);
+  out.ours_s = ro.total_seconds();
+
+  out.equivalent = ro.status == sat::Status::kUnsat;
+  if (ro.status == sat::Status::kSat) out.counterexample = ro.witness;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int width = argc > 1 ? std::atoi(argv[1]) : 6;
+  std::printf("LEC flow, datapath width %d\n\n", width);
+
+  // Case 1: two correct adder architectures — must be EQUIVALENT.
+  aig::Aig rca, ks;
+  {
+    const auto a = gen::input_word(rca, width);
+    const auto b = gen::input_word(rca, width);
+    for (aig::Lit l : gen::ripple_carry_add(rca, a, b, aig::kFalse, true))
+      rca.add_po(l);
+  }
+  {
+    const auto a = gen::input_word(ks, width);
+    const auto b = gen::input_word(ks, width);
+    for (aig::Lit l : gen::kogge_stone_add(ks, a, b, aig::kFalse, true))
+      ks.add_po(l);
+  }
+  const auto r1 = check_equivalence(rca, ks);
+  std::printf("[adders rca-vs-kogge]   %s  (baseline %.3fs, ours %.3fs)\n",
+              r1.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT", r1.baseline_s,
+              r1.ours_s);
+
+  // Case 2: commuted multipliers (a*b vs b*a, different architectures) —
+  // the classic hard UNSAT family.
+  aig::Aig m1, m2;
+  {
+    const auto a = gen::input_word(m1, width);
+    const auto b = gen::input_word(m1, width);
+    for (aig::Lit l : gen::array_multiply(m1, a, b)) m1.add_po(l);
+  }
+  {
+    const auto a = gen::input_word(m2, width);
+    const auto b = gen::input_word(m2, width);
+    for (aig::Lit l : gen::shift_add_multiply(m2, b, a)) m2.add_po(l);
+  }
+  const auto r2 = check_equivalence(m1, m2);
+  std::printf("[multipliers commuted]  %s  (baseline %.3fs, ours %.3fs)\n",
+              r2.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT", r2.baseline_s,
+              r2.ours_s);
+
+  // Case 3: a buggy implementation — must be NOT EQUIVALENT with a
+  // counterexample.
+  const aig::Aig buggy = gen::inject_bug(ks, 7);
+  const auto r3 = check_equivalence(rca, buggy);
+  std::printf("[adder vs buggy adder]  %s  (baseline %.3fs, ours %.3fs)\n",
+              r3.equivalent ? "EQUIVALENT" : "NOT EQUIVALENT", r3.baseline_s,
+              r3.ours_s);
+  if (!r3.counterexample.empty()) {
+    std::printf("  counterexample: a=");
+    for (int i = width - 1; i >= 0; --i)
+      std::printf("%d", r3.counterexample[i] ? 1 : 0);
+    std::printf(" b=");
+    for (int i = 2 * width - 1; i >= width; --i)
+      std::printf("%d", r3.counterexample[i] ? 1 : 0);
+    std::printf("\n");
+  }
+  return 0;
+}

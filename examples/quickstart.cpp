@@ -1,0 +1,75 @@
+// Quickstart: build a CSAT instance, run the paper's preprocessing
+// framework, and solve it — the 60-second tour of the public API.
+//
+//   $ ./quickstart
+//
+// Flow: (1) construct two structurally different 6-bit adders, (2) miter
+// them with an injected bug (so the instance is satisfiable), (3) run the
+// framework pipeline (synthesis recipe + cost-customized LUT mapping +
+// ISOP CNF) against the plain Tseitin baseline, (4) print the witness.
+
+#include <cstdio>
+
+#include "aig/simulate.h"
+#include "core/pipeline.h"
+#include "gen/arith.h"
+#include "gen/miter.h"
+
+using namespace csat;
+
+int main() {
+  // --- 1. Two implementations of the same 6-bit adder -------------------
+  aig::Aig golden;
+  {
+    const auto a = gen::input_word(golden, 6);
+    const auto b = gen::input_word(golden, 6);
+    for (aig::Lit l : gen::ripple_carry_add(golden, a, b, aig::kFalse, true))
+      golden.add_po(l);
+  }
+  aig::Aig impl;
+  {
+    const auto a = gen::input_word(impl, 6);
+    const auto b = gen::input_word(impl, 6);
+    for (aig::Lit l : gen::kogge_stone_add(impl, a, b, aig::kFalse, true))
+      impl.add_po(l);
+  }
+
+  // --- 2. Inject a bug and build the LEC miter ---------------------------
+  const aig::Aig buggy = gen::inject_bug(impl, /*seed=*/2024);
+  const aig::Aig instance = gen::make_miter(golden, buggy);
+  std::printf("CSAT instance: %zu PIs, %zu AND gates, depth %d\n",
+              instance.num_pis(), instance.num_ands(), instance.depth());
+
+  // --- 3. Solve with and without preprocessing ---------------------------
+  core::PipelineOptions baseline;
+  baseline.mode = core::PipelineMode::kBaseline;
+  const auto rb = core::solve_instance(instance, baseline);
+
+  core::PipelineOptions ours;
+  ours.mode = core::PipelineMode::kOurs;  // no agent -> fixed recipe fallback
+  const auto ro = core::solve_instance(instance, ours);
+
+  const auto show = [](const char* name, const core::PipelineResult& r) {
+    std::printf("%-10s status=%s  clauses=%zu  decisions=%llu  total=%.3fs\n",
+                name,
+                r.status == sat::Status::kSat     ? "SAT"
+                : r.status == sat::Status::kUnsat ? "UNSAT"
+                                                  : "UNKNOWN",
+                r.cnf_clauses,
+                static_cast<unsigned long long>(r.solver_stats.decisions),
+                r.total_seconds());
+  };
+  show("Baseline", rb);
+  show("Ours", ro);
+
+  // --- 4. Validate the witness -------------------------------------------
+  if (ro.status == sat::Status::kSat) {
+    const auto outs = aig::evaluate(instance, ro.witness);
+    std::printf("witness distinguishes the circuits: miter output = %d\n",
+                outs[0] ? 1 : 0);
+    std::printf("counterexample inputs:");
+    for (bool b : ro.witness) std::printf(" %d", b ? 1 : 0);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "aig/aiger_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace csat::aig {
+
+namespace {
+
+/// Renumbering for output: AIGER literal for each of our nodes.
+struct WritePlan {
+  std::vector<std::uint32_t> node2aiglit;  // positive-phase AIGER literal
+  std::vector<std::uint32_t> and_nodes;    // our ids, in AIGER order
+  std::uint32_t max_var = 0;
+};
+
+WritePlan plan_write(const Aig& g) {
+  WritePlan plan;
+  plan.node2aiglit.assign(g.num_nodes(), 0);
+  std::uint32_t var = 0;
+  for (std::uint32_t pi : g.pis()) plan.node2aiglit[pi] = 2 * ++var;
+  plan.and_nodes = g.live_ands();
+  for (std::uint32_t n : plan.and_nodes) plan.node2aiglit[n] = 2 * ++var;
+  plan.max_var = var;
+  return plan;
+}
+
+std::uint32_t lit_of(const WritePlan& plan, Lit l) {
+  return plan.node2aiglit[l.node()] | (l.is_compl() ? 1u : 0u);
+}
+
+void encode_delta(std::ostream& out, std::uint32_t delta) {
+  while (delta >= 0x80) {
+    out.put(static_cast<char>(0x80 | (delta & 0x7f)));
+    delta >>= 7;
+  }
+  out.put(static_cast<char>(delta));
+}
+
+std::uint32_t decode_delta(std::istream& in) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in.get();
+    if (c == std::istream::traits_type::eof())
+      throw AigerError("aiger: truncated binary AND section");
+    value |= static_cast<std::uint32_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 28) throw AigerError("aiger: delta encoding overflow");
+  }
+}
+
+}  // namespace
+
+void write_aiger_ascii(const Aig& g, std::ostream& out) {
+  const WritePlan plan = plan_write(g);
+  out << "aag " << plan.max_var << ' ' << g.num_pis() << " 0 " << g.num_pos()
+      << ' ' << plan.and_nodes.size() << '\n';
+  for (std::uint32_t pi : g.pis()) out << plan.node2aiglit[pi] << '\n';
+  for (Lit po : g.pos()) out << lit_of(plan, po) << '\n';
+  for (std::uint32_t n : plan.and_nodes) {
+    out << plan.node2aiglit[n] << ' ' << lit_of(plan, g.fanin0(n)) << ' '
+        << lit_of(plan, g.fanin1(n)) << '\n';
+  }
+}
+
+void write_aiger_binary(const Aig& g, std::ostream& out) {
+  const WritePlan plan = plan_write(g);
+  out << "aig " << plan.max_var << ' ' << g.num_pis() << " 0 " << g.num_pos()
+      << ' ' << plan.and_nodes.size() << '\n';
+  for (Lit po : g.pos()) out << lit_of(plan, po) << '\n';
+  for (std::uint32_t n : plan.and_nodes) {
+    const std::uint32_t lhs = plan.node2aiglit[n];
+    std::uint32_t rhs0 = lit_of(plan, g.fanin0(n));
+    std::uint32_t rhs1 = lit_of(plan, g.fanin1(n));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+    CSAT_CHECK_MSG(lhs > rhs0, "aiger: AND out of topological order");
+    encode_delta(out, lhs - rhs0);
+    encode_delta(out, rhs0 - rhs1);
+  }
+}
+
+void write_aiger_file(const Aig& g, const std::string& path, bool binary) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw AigerError("aiger: cannot open for writing: " + path);
+  if (binary)
+    write_aiger_binary(g, out);
+  else
+    write_aiger_ascii(g, out);
+}
+
+Aig read_aiger(std::istream& in) {
+  std::string magic;
+  std::uint32_t max_var = 0, num_in = 0, num_latch = 0, num_out = 0, num_and = 0;
+  if (!(in >> magic >> max_var >> num_in >> num_latch >> num_out >> num_and))
+    throw AigerError("aiger: malformed header");
+  if (magic != "aag" && magic != "aig")
+    throw AigerError("aiger: bad magic '" + magic + "'");
+  if (num_latch != 0)
+    throw AigerError("aiger: sequential circuits unsupported (latches present)");
+  if (max_var < num_in + num_and)
+    throw AigerError("aiger: inconsistent header counts");
+  const bool binary = magic == "aig";
+
+  Aig g;
+  // aiglit2lit[v] = our literal for AIGER variable v (positive phase).
+  std::vector<Lit> var2lit(max_var + 1, kFalse);
+  auto to_lit = [&](std::uint32_t aiglit) {
+    const std::uint32_t var = aiglit >> 1;
+    if (var > max_var) throw AigerError("aiger: literal out of range");
+    return var2lit[var] ^ ((aiglit & 1u) != 0);
+  };
+
+  if (binary) {
+    for (std::uint32_t i = 1; i <= num_in; ++i) var2lit[i] = g.add_pi();
+    std::vector<std::uint32_t> po_lits(num_out);
+    for (auto& po : po_lits) {
+      if (!(in >> po)) throw AigerError("aiger: missing output literal");
+    }
+    in.get();  // the newline before the binary section
+    for (std::uint32_t i = 0; i < num_and; ++i) {
+      const std::uint32_t lhs = 2 * (num_in + 1 + i);
+      const std::uint32_t delta0 = decode_delta(in);
+      const std::uint32_t delta1 = decode_delta(in);
+      if (delta0 > lhs) throw AigerError("aiger: invalid delta0");
+      const std::uint32_t rhs0 = lhs - delta0;
+      if (delta1 > rhs0) throw AigerError("aiger: invalid delta1");
+      const std::uint32_t rhs1 = rhs0 - delta1;
+      var2lit[lhs >> 1] = g.and2(to_lit(rhs0), to_lit(rhs1));
+    }
+    for (std::uint32_t po : po_lits) g.add_po(to_lit(po));
+  } else {
+    for (std::uint32_t i = 0; i < num_in; ++i) {
+      std::uint32_t aiglit = 0;
+      if (!(in >> aiglit) || (aiglit & 1u) != 0)
+        throw AigerError("aiger: bad input literal");
+      var2lit[aiglit >> 1] = g.add_pi();
+    }
+    std::vector<std::uint32_t> po_lits(num_out);
+    for (auto& po : po_lits)
+      if (!(in >> po)) throw AigerError("aiger: missing output literal");
+    for (std::uint32_t i = 0; i < num_and; ++i) {
+      std::uint32_t lhs = 0, rhs0 = 0, rhs1 = 0;
+      if (!(in >> lhs >> rhs0 >> rhs1) || (lhs & 1u) != 0)
+        throw AigerError("aiger: bad AND line");
+      if (rhs0 >= lhs || rhs1 >= lhs)
+        throw AigerError("aiger: AND not in topological order");
+      var2lit[lhs >> 1] = g.and2(to_lit(rhs0), to_lit(rhs1));
+    }
+    for (std::uint32_t po : po_lits) g.add_po(to_lit(po));
+  }
+  return g;
+}
+
+Aig read_aiger_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw AigerError("aiger: cannot open: " + path);
+  return read_aiger(in);
+}
+
+}  // namespace csat::aig

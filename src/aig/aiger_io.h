@@ -1,0 +1,41 @@
+#ifndef CSAT_AIG_AIGER_IO_H
+#define CSAT_AIG_AIGER_IO_H
+
+/// \file aiger_io.h
+/// Reader/writer for the AIGER exchange format (Biere, 2006) — the format
+/// the paper's benchmark instances ship in. Both the ASCII (`aag`) and the
+/// binary delta-encoded (`aig`) variants are supported for combinational
+/// circuits (latches are rejected: CSAT instances are combinational miters).
+///
+/// Errors (malformed header, dangling literals, latch sections, truncated
+/// binary streams) are reported via AigerError so callers can surface the
+/// offending file and byte position.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "aig/aig.h"
+
+namespace csat::aig {
+
+class AigerError : public std::runtime_error {
+ public:
+  explicit AigerError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses an AIGER file (ASCII or binary, auto-detected from the header).
+Aig read_aiger(std::istream& in);
+Aig read_aiger_file(const std::string& path);
+
+/// Writes ASCII AIGER (`aag`). Node ids are renumbered PIs-first.
+void write_aiger_ascii(const Aig& g, std::ostream& out);
+
+/// Writes binary AIGER (`aig`).
+void write_aiger_binary(const Aig& g, std::ostream& out);
+
+void write_aiger_file(const Aig& g, const std::string& path, bool binary = true);
+
+}  // namespace csat::aig
+
+#endif  // CSAT_AIG_AIGER_IO_H

@@ -1,0 +1,97 @@
+#include "aig/simulate.h"
+
+#include <unordered_map>
+
+namespace csat::aig {
+
+std::vector<std::uint64_t> simulate_words(const Aig& g,
+                                          std::span<const std::uint64_t> pi_words) {
+  CSAT_CHECK(pi_words.size() == g.num_pis());
+  std::vector<std::uint64_t> val(g.num_nodes(), 0);
+  for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
+    if (g.is_pi(n)) {
+      val[n] = pi_words[g.pi_index(n)];
+    } else {
+      const Lit f0 = g.fanin0(n);
+      const Lit f1 = g.fanin1(n);
+      const std::uint64_t a = val[f0.node()] ^ (f0.is_compl() ? ~0ULL : 0ULL);
+      const std::uint64_t b = val[f1.node()] ^ (f1.is_compl() ? ~0ULL : 0ULL);
+      val[n] = a & b;
+    }
+  }
+  return val;
+}
+
+std::vector<bool> evaluate(const Aig& g, const std::vector<bool>& pi_values) {
+  CSAT_CHECK(pi_values.size() == g.num_pis());
+  std::vector<std::uint64_t> words(g.num_pis());
+  for (std::size_t i = 0; i < pi_values.size(); ++i)
+    words[i] = pi_values[i] ? ~0ULL : 0ULL;
+  const auto val = simulate_words(g, words);
+  std::vector<bool> out;
+  out.reserve(g.num_pos());
+  for (Lit po : g.pos())
+    out.push_back(((val[po.node()] & 1ULL) != 0) != po.is_compl());
+  return out;
+}
+
+bool equal_by_simulation(const Aig& a, const Aig& b, int rounds,
+                         std::uint64_t seed) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+  Rng rng(seed);
+  std::vector<std::uint64_t> pi_words(a.num_pis());
+  for (int r = 0; r < rounds; ++r) {
+    for (auto& w : pi_words) w = rng.next_u64();
+    const auto va = simulate_words(a, pi_words);
+    const auto vb = simulate_words(b, pi_words);
+    for (std::size_t i = 0; i < a.num_pos(); ++i) {
+      const Lit pa = a.pos()[i];
+      const Lit pb = b.pos()[i];
+      const std::uint64_t wa = va[pa.node()] ^ (pa.is_compl() ? ~0ULL : 0ULL);
+      const std::uint64_t wb = vb[pb.node()] ^ (pb.is_compl() ? ~0ULL : 0ULL);
+      if (wa != wb) return false;
+    }
+  }
+  return true;
+}
+
+tt::TruthTable cone_tt(const Aig& g, Lit root, std::span<const std::uint32_t> leaves) {
+  const int k = static_cast<int>(leaves.size());
+  CSAT_CHECK(k <= tt::TruthTable::kMaxVars);
+
+  std::unordered_map<std::uint32_t, tt::TruthTable> memo;
+  memo.reserve(64);
+  for (int i = 0; i < k; ++i)
+    memo.emplace(leaves[i], tt::TruthTable::projection(k, i));
+  memo.emplace(0u, tt::TruthTable::zeros(k));  // constant node
+
+  // Iterative post-order evaluation to keep deep cones off the call stack.
+  std::vector<std::uint32_t> stack{root.node()};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (memo.contains(n)) {
+      stack.pop_back();
+      continue;
+    }
+    CSAT_CHECK_MSG(g.is_and(n), "cone_tt: leaves do not form a cut of root");
+    const std::uint32_t c0 = g.fanin0(n).node();
+    const std::uint32_t c1 = g.fanin1(n).node();
+    const bool ready0 = memo.contains(c0);
+    const bool ready1 = memo.contains(c1);
+    if (ready0 && ready1) {
+      stack.pop_back();
+      tt::TruthTable t0 = memo.at(c0);
+      if (g.fanin0(n).is_compl()) t0 = ~t0;
+      tt::TruthTable t1 = memo.at(c1);
+      if (g.fanin1(n).is_compl()) t1 = ~t1;
+      memo.emplace(n, t0 & t1);
+    } else {
+      if (!ready0) stack.push_back(c0);
+      if (!ready1) stack.push_back(c1);
+    }
+  }
+  tt::TruthTable result = memo.at(root.node());
+  return root.is_compl() ? ~result : result;
+}
+
+}  // namespace csat::aig

@@ -1,0 +1,35 @@
+#ifndef CSAT_AIG_VALIDATE_H
+#define CSAT_AIG_VALIDATE_H
+
+/// \file validate.h
+/// Structural validation and export utilities for AIGs.
+///
+/// `validate()` checks every invariant the append-only Aig is supposed to
+/// maintain (topological ids, accurate levels, consistent reference counts,
+/// fanins below the node, no dangling POs). The synthesis test-suites run
+/// it after every pass so that a regression in the rebuild machinery is
+/// caught at the structural level, before it manifests as a functional bug.
+/// `write_dot()` emits Graphviz for debugging small cones.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace csat::aig {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+
+/// Checks all structural invariants; collects every violation found.
+ValidationReport validate(const Aig& g);
+
+/// Graphviz dot output (solid edge = positive, dashed = complemented).
+void write_dot(const Aig& g, std::ostream& out);
+
+}  // namespace csat::aig
+
+#endif  // CSAT_AIG_VALIDATE_H

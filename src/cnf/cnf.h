@@ -1,0 +1,118 @@
+#ifndef CSAT_CNF_CNF_H
+#define CSAT_CNF_CNF_H
+
+/// \file cnf.h
+/// CNF formula container shared by the encoders and the SAT solver.
+///
+/// Literals use the solver-friendly encoding lit = 2*var + sign (sign 1 =
+/// negated); variables are 0-based. Clauses live in one flat literal arena
+/// indexed by offsets, so iterating the formula is a linear scan.
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace csat::cnf {
+
+/// A propositional literal (variable + sign).
+struct Lit {
+  std::uint32_t x = 0;
+
+  Lit() = default;
+  constexpr explicit Lit(std::uint32_t raw) : x(raw) {}
+
+  static constexpr Lit make(std::uint32_t var, bool negated = false) {
+    return Lit((var << 1) | (negated ? 1u : 0u));
+  }
+
+  [[nodiscard]] constexpr std::uint32_t var() const { return x >> 1; }
+  [[nodiscard]] constexpr bool sign() const { return (x & 1u) != 0; }
+  [[nodiscard]] constexpr Lit operator!() const { return Lit(x ^ 1u); }
+  [[nodiscard]] constexpr Lit operator^(bool c) const { return Lit(x ^ (c ? 1u : 0u)); }
+
+  /// DIMACS representation: 1-based, negative when sign() is set.
+  [[nodiscard]] constexpr int to_dimacs() const {
+    const int v = static_cast<int>(var()) + 1;
+    return sign() ? -v : v;
+  }
+  static constexpr Lit from_dimacs(int d) {
+    CSAT_DCHECK(d != 0);
+    const std::uint32_t var = static_cast<std::uint32_t>((d < 0 ? -d : d) - 1);
+    return make(var, d < 0);
+  }
+
+  friend constexpr bool operator==(Lit a, Lit b) { return a.x == b.x; }
+  friend constexpr bool operator!=(Lit a, Lit b) { return a.x != b.x; }
+  friend constexpr bool operator<(Lit a, Lit b) { return a.x < b.x; }
+};
+
+class Cnf {
+ public:
+  [[nodiscard]] std::uint32_t num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t num_clauses() const { return starts_.size() - 1; }
+  [[nodiscard]] std::size_t num_literals() const { return lits_.size(); }
+
+  std::uint32_t new_var() { return num_vars_++; }
+
+  /// Reserves \p n fresh variables, returning the first one.
+  std::uint32_t add_vars(std::uint32_t n) {
+    const std::uint32_t first = num_vars_;
+    num_vars_ += n;
+    return first;
+  }
+
+  /// Ensures the variable count covers \p var.
+  void ensure_var(std::uint32_t var) {
+    if (var >= num_vars_) num_vars_ = var + 1;
+  }
+
+  void add_clause(std::span<const Lit> lits) {
+    for (Lit l : lits) {
+      CSAT_CHECK_MSG(l.var() < num_vars_, "cnf: literal over undeclared variable");
+      lits_.push_back(l);
+    }
+    starts_.push_back(static_cast<std::uint32_t>(lits_.size()));
+  }
+
+  void add_clause(std::initializer_list<Lit> lits) {
+    add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  [[nodiscard]] std::span<const Lit> clause(std::size_t i) const {
+    CSAT_DCHECK(i + 1 < starts_.size());
+    return {lits_.data() + starts_[i],
+            static_cast<std::size_t>(starts_[i + 1] - starts_[i])};
+  }
+
+  /// Evaluates the formula under a complete assignment (indexed by var).
+  [[nodiscard]] bool satisfied_by(const std::vector<bool>& model) const {
+    CSAT_CHECK(model.size() >= num_vars_);
+    for (std::size_t i = 0; i < num_clauses(); ++i) {
+      bool sat = false;
+      for (Lit l : clause(i)) {
+        if (model[l.var()] != l.sign()) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t num_vars_ = 0;
+  std::vector<Lit> lits_;
+  std::vector<std::uint32_t> starts_{0};
+};
+
+}  // namespace csat::cnf
+
+#endif  // CSAT_CNF_CNF_H

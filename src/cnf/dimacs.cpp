@@ -1,0 +1,78 @@
+#include "cnf/dimacs.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace csat::cnf {
+
+Cnf read_dimacs(std::istream& in) {
+  Cnf f;
+  std::string token;
+  bool header_seen = false;
+  std::size_t declared_clauses = 0;
+  std::vector<Lit> clause;
+
+  while (in >> token) {
+    if (token == "c") {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      long vars = 0, clauses = 0;
+      if (!(in >> fmt >> vars >> clauses) || fmt != "cnf" || vars < 0 || clauses < 0)
+        throw DimacsError("dimacs: malformed problem line");
+      f.add_vars(static_cast<std::uint32_t>(vars));
+      declared_clauses = static_cast<std::size_t>(clauses);
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) throw DimacsError("dimacs: literal before problem line");
+    int d = 0;
+    try {
+      d = std::stoi(token);
+    } catch (const std::exception&) {
+      throw DimacsError("dimacs: not a literal: " + token);
+    }
+    if (d == 0) {
+      f.add_clause(clause);
+      clause.clear();
+    } else {
+      const Lit l = Lit::from_dimacs(d);
+      if (l.var() >= f.num_vars())
+        throw DimacsError("dimacs: literal exceeds declared variable count");
+      clause.push_back(l);
+    }
+  }
+  if (!clause.empty()) throw DimacsError("dimacs: clause not terminated by 0");
+  if (!header_seen) throw DimacsError("dimacs: missing problem line");
+  if (f.num_clauses() != declared_clauses)
+    throw DimacsError("dimacs: clause count mismatch with header");
+  return f;
+}
+
+Cnf read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DimacsError("dimacs: cannot open: " + path);
+  return read_dimacs(in);
+}
+
+void write_dimacs(const Cnf& f, std::ostream& out) {
+  out << "p cnf " << f.num_vars() << ' ' << f.num_clauses() << '\n';
+  for (std::size_t i = 0; i < f.num_clauses(); ++i) {
+    for (Lit l : f.clause(i)) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+void write_dimacs_file(const Cnf& f, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DimacsError("dimacs: cannot open for writing: " + path);
+  write_dimacs(f, out);
+}
+
+}  // namespace csat::cnf

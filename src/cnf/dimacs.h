@@ -1,0 +1,30 @@
+#ifndef CSAT_CNF_DIMACS_H
+#define CSAT_CNF_DIMACS_H
+
+/// \file dimacs.h
+/// DIMACS CNF reader/writer — the interchange format between the
+/// preprocessing pipeline and external CDCL solvers, and the format the
+/// test suite uses for golden instances.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "cnf/cnf.h"
+
+namespace csat::cnf {
+
+class DimacsError : public std::runtime_error {
+ public:
+  explicit DimacsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+Cnf read_dimacs(std::istream& in);
+Cnf read_dimacs_file(const std::string& path);
+
+void write_dimacs(const Cnf& f, std::ostream& out);
+void write_dimacs_file(const Cnf& f, const std::string& path);
+
+}  // namespace csat::cnf
+
+#endif  // CSAT_CNF_DIMACS_H

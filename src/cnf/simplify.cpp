@@ -1,0 +1,350 @@
+#include "cnf/simplify.h"
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace csat::cnf {
+
+namespace {
+
+/// Working clause: sorted literals + Bloom signature + liveness.
+struct WorkClause {
+  std::vector<Lit> lits;
+  std::uint64_t signature = 0;
+  bool alive = true;
+};
+
+std::uint64_t signature_of(const std::vector<Lit>& lits) {
+  std::uint64_t s = 0;
+  for (Lit l : lits) s |= 1ULL << (l.var() & 63);
+  return s;
+}
+
+class Simplifier {
+ public:
+  Simplifier(const Cnf& formula, const SimplifyParams& params)
+      : params_(params), num_vars_(formula.num_vars()),
+        assign_(formula.num_vars(), -1), occ_(2 * formula.num_vars()) {
+    for (std::size_t i = 0; i < formula.num_clauses(); ++i)
+      if (!add_clause(formula.clause(i))) break;
+  }
+
+  SimplifyResult run() {
+    for (int round = 0; round < params_.max_rounds && !unsat_; ++round) {
+      bool changed = false;
+      if (params_.unit_propagation) changed |= propagate_units();
+      if (unsat_) break;
+      if (params_.pure_literals) changed |= eliminate_pures();
+      if (params_.subsumption) changed |= subsume();
+      if (params_.variable_elimination) changed |= eliminate_variables();
+      if (!changed) break;
+    }
+    return finish();
+  }
+
+ private:
+  // --- clause management --------------------------------------------------
+
+  bool add_clause(std::span<const Lit> in) {
+    std::vector<Lit> lits;
+    lits.reserve(in.size());
+    for (Lit l : in) {
+      const int v = assign_[l.var()];
+      if (v == static_cast<int>(!l.sign())) return true;    // satisfied
+      if (v == static_cast<int>(l.sign())) continue;        // falsified lit
+      lits.push_back(l);
+    }
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i)
+      if (lits[i] == !lits[i + 1]) return true;  // tautology
+    if (lits.empty()) {
+      unsat_ = true;
+      return false;
+    }
+    if (lits.size() == 1) {
+      pending_units_.push_back(lits[0]);
+      return true;
+    }
+    const auto idx = static_cast<std::uint32_t>(clauses_.size());
+    WorkClause wc;
+    wc.lits = std::move(lits);
+    wc.signature = signature_of(wc.lits);
+    for (Lit l : wc.lits) occ_[l.x].push_back(idx);
+    clauses_.push_back(std::move(wc));
+    return true;
+  }
+
+  void kill_clause(std::uint32_t idx) {
+    if (!clauses_[idx].alive) return;
+    clauses_[idx].alive = false;
+    ++stats_.removed_clauses;
+  }
+
+  /// Occurrence lists are append-only; consumers filter dead entries.
+  [[nodiscard]] std::vector<std::uint32_t> live_occ(Lit l) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t idx : occ_[l.x]) {
+      if (!clauses_[idx].alive) continue;
+      // The clause may have been strengthened past this literal.
+      if (std::binary_search(clauses_[idx].lits.begin(),
+                             clauses_[idx].lits.end(), l))
+        out.push_back(idx);
+    }
+    return out;
+  }
+
+  // --- unit propagation ----------------------------------------------------
+
+  bool fix_literal(Lit l) {
+    const std::uint32_t v = l.var();
+    if (assign_[v] != -1) {
+      if (assign_[v] == static_cast<int>(l.sign())) unsat_ = true;
+      return false;
+    }
+    assign_[v] = l.sign() ? 0 : 1;
+    ++stats_.fixed_units;
+    // Satisfied clauses die; falsified literals shrink clauses.
+    for (std::uint32_t idx : live_occ(l)) kill_clause(idx);
+    for (std::uint32_t idx : live_occ(!l)) {
+      auto& c = clauses_[idx];
+      c.lits.erase(std::remove(c.lits.begin(), c.lits.end(), !l), c.lits.end());
+      c.signature = signature_of(c.lits);
+      if (c.lits.empty()) {
+        unsat_ = true;
+        return false;
+      }
+      if (c.lits.size() == 1) {
+        pending_units_.push_back(c.lits[0]);
+        kill_clause(idx);
+      }
+    }
+    return true;
+  }
+
+  bool propagate_units() {
+    bool changed = false;
+    while (!pending_units_.empty() && !unsat_) {
+      const Lit l = pending_units_.back();
+      pending_units_.pop_back();
+      changed |= fix_literal(l);
+    }
+    return changed;
+  }
+
+  // --- pure literals ---------------------------------------------------------
+
+  bool eliminate_pures() {
+    bool changed = false;
+    for (std::uint32_t v = 0; v < num_vars_ && !unsat_; ++v) {
+      if (assign_[v] != -1) continue;
+      const bool has_pos = !live_occ(Lit::make(v, false)).empty();
+      const bool has_neg = !live_occ(Lit::make(v, true)).empty();
+      if (has_pos == has_neg) continue;  // both or neither
+      const Lit pure = Lit::make(v, !has_pos);
+      ++stats_.pure_literals;
+      fix_literal(pure);
+      propagate_units();
+      changed = true;
+    }
+    return changed;
+  }
+
+  // --- subsumption ------------------------------------------------------------
+
+  /// True when every literal of a occurs in b (both sorted).
+  static bool subset_of(const WorkClause& a, const WorkClause& b) {
+    if ((a.signature & ~b.signature) != 0) return false;
+    return std::includes(b.lits.begin(), b.lits.end(), a.lits.begin(),
+                         a.lits.end());
+  }
+
+  bool subsume() {
+    bool changed = false;
+    for (std::uint32_t ci = 0; ci < clauses_.size(); ++ci) {
+      if (!clauses_[ci].alive) continue;
+      const WorkClause& c = clauses_[ci];
+      // Scan candidates through the least-occurring literal of c.
+      Lit best = c.lits[0];
+      for (Lit l : c.lits)
+        if (occ_[l.x].size() < occ_[best.x].size()) best = l;
+      for (std::uint32_t di : live_occ(best)) {
+        if (di == ci || !clauses_[di].alive) continue;
+        if (c.lits.size() > clauses_[di].lits.size()) continue;
+        if (subset_of(c, clauses_[di])) {
+          kill_clause(di);
+          ++stats_.subsumed_clauses;
+          changed = true;
+        }
+      }
+      // Self-subsuming resolution: c with one literal flipped subsumes d
+      // => remove the flipped literal from d.
+      for (Lit flip : c.lits) {
+        WorkClause probe;
+        probe.lits = c.lits;
+        *std::find(probe.lits.begin(), probe.lits.end(), flip) = !flip;
+        std::sort(probe.lits.begin(), probe.lits.end());
+        probe.signature = signature_of(probe.lits);
+        for (std::uint32_t di : live_occ(!flip)) {
+          if (di == ci || !clauses_[di].alive) continue;
+          if (probe.lits.size() > clauses_[di].lits.size()) continue;
+          if (!subset_of(probe, clauses_[di])) continue;
+          auto& d = clauses_[di];
+          d.lits.erase(std::remove(d.lits.begin(), d.lits.end(), !flip),
+                       d.lits.end());
+          d.signature = signature_of(d.lits);
+          ++stats_.strengthened_clauses;
+          changed = true;
+          if (d.lits.size() == 1) {
+            pending_units_.push_back(d.lits[0]);
+            kill_clause(di);
+          } else if (d.lits.empty()) {
+            unsat_ = true;
+            return changed;
+          }
+        }
+      }
+    }
+    propagate_units();
+    return changed;
+  }
+
+  // --- bounded variable elimination -------------------------------------------
+
+  bool eliminate_variables() {
+    bool changed = false;
+    for (std::uint32_t v = 0; v < num_vars_ && !unsat_; ++v) {
+      if (assign_[v] != -1) continue;
+      const auto pos = live_occ(Lit::make(v, false));
+      const auto neg = live_occ(Lit::make(v, true));
+      if (pos.empty() && neg.empty()) continue;
+      const int occurrences = static_cast<int>(pos.size() + neg.size());
+      if (occurrences > params_.bve_occurrence_limit) continue;
+
+      // Build non-tautological resolvents.
+      std::vector<std::vector<Lit>> resolvents;
+      bool too_many = false;
+      for (std::uint32_t pi : pos) {
+        for (std::uint32_t ni : neg) {
+          std::vector<Lit> r;
+          bool taut = false;
+          for (Lit l : clauses_[pi].lits)
+            if (l.var() != v) r.push_back(l);
+          for (Lit l : clauses_[ni].lits) {
+            if (l.var() == v) continue;
+            r.push_back(l);
+          }
+          std::sort(r.begin(), r.end());
+          r.erase(std::unique(r.begin(), r.end()), r.end());
+          for (std::size_t i = 0; i + 1 < r.size(); ++i)
+            if (r[i] == !r[i + 1]) {
+              taut = true;
+              break;
+            }
+          if (!taut) resolvents.push_back(std::move(r));
+          if (static_cast<int>(resolvents.size()) > occurrences) {
+            too_many = true;
+            break;
+          }
+        }
+        if (too_many) break;
+      }
+      if (too_many) continue;
+
+      // Record the variable's clauses for model reconstruction, then swap
+      // them for the resolvents (NiVER's non-increasing elimination).
+      SimplifyResult::Reconstruction rec;
+      rec.var = v;
+      for (std::uint32_t idx : pos) rec.clauses.push_back(clauses_[idx].lits);
+      for (std::uint32_t idx : neg) rec.clauses.push_back(clauses_[idx].lits);
+      stack_.push_back(std::move(rec));
+      for (std::uint32_t idx : pos) kill_clause(idx);
+      for (std::uint32_t idx : neg) kill_clause(idx);
+      eliminated_[v] = true;
+      ++stats_.eliminated_vars;
+      for (const auto& r : resolvents)
+        if (!add_clause(r)) break;
+      propagate_units();
+      changed = true;
+    }
+    return changed;
+  }
+
+  // --- output ----------------------------------------------------------------
+
+  SimplifyResult finish() {
+    SimplifyResult result;
+    result.stats = stats_;
+    result.unsat = unsat_;
+    result.stack_ = std::move(stack_);
+    result.cnf.add_vars(num_vars_);
+    if (unsat_) {
+      const Lit f = Lit::make(0, false);
+      result.cnf.add_unit(f);
+      result.cnf.add_unit(!f);
+      return result;
+    }
+    // Fixed variables come back as unit clauses so that a model of the
+    // output directly assigns them.
+    for (std::uint32_t v = 0; v < num_vars_; ++v)
+      if (assign_[v] != -1)
+        result.cnf.add_unit(Lit::make(v, assign_[v] == 0));
+    for (const auto& c : clauses_)
+      if (c.alive) result.cnf.add_clause(c.lits);
+    return result;
+  }
+
+  SimplifyParams params_;
+  std::uint32_t num_vars_;
+  SimplifyStats stats_;
+  bool unsat_ = false;
+  std::vector<int> assign_;  // -1 unknown, 0 false, 1 true
+  std::vector<WorkClause> clauses_;
+  std::vector<std::vector<std::uint32_t>> occ_;  // by literal
+  std::vector<Lit> pending_units_;
+  std::vector<SimplifyResult::Reconstruction> stack_;
+  std::unordered_map<std::uint32_t, bool> eliminated_;
+};
+
+}  // namespace
+
+std::vector<bool> SimplifyResult::extend_model(std::vector<bool> model) const {
+  // Replay eliminated variables newest-first: each variable's saved clauses
+  // determine its forced value under the (already extended) suffix.
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    bool value = false;
+    bool forced = false;
+    for (const auto& clause : it->clauses) {
+      bool satisfied_without_v = false;
+      Lit v_lit = Lit::make(it->var, false);
+      for (Lit l : clause) {
+        if (l.var() == it->var) {
+          v_lit = l;
+          continue;
+        }
+        if (model[l.var()] != l.sign()) {
+          satisfied_without_v = true;
+          break;
+        }
+      }
+      if (!satisfied_without_v) {
+        const bool needed = !v_lit.sign();
+        CSAT_CHECK_MSG(!forced || value == needed,
+                       "simplify: inconsistent model reconstruction");
+        value = needed;
+        forced = true;
+      }
+    }
+    model[it->var] = forced ? value : false;
+  }
+  return model;
+}
+
+SimplifyResult simplify(const Cnf& formula, const SimplifyParams& params) {
+  return Simplifier(formula, params).run();
+}
+
+}  // namespace csat::cnf

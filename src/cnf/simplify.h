@@ -1,0 +1,78 @@
+#ifndef CSAT_CNF_SIMPLIFY_H
+#define CSAT_CNF_SIMPLIFY_H
+
+/// \file simplify.h
+/// CNF-level preprocessing: unit propagation, pure-literal elimination,
+/// (self-)subsumption and bounded variable elimination.
+///
+/// The paper's pipeline runs on top of the solvers' "default CNF-based
+/// preprocessing" (Section IV, footnote 1) — the techniques of Eén-Biere
+/// SatELite and NiVER ([5], [6] in the paper). This module provides that
+/// layer for our self-contained stack:
+///   * unit propagation to a fixpoint (fixed literals re-emitted as units),
+///   * pure-literal elimination,
+///   * backward subsumption and self-subsuming resolution (strengthening),
+///   * bounded variable elimination (eliminate v when the resolvent set is
+///     no larger than the clauses it replaces, NiVER's non-increasing rule).
+///
+/// Eliminated variables are recorded so that a model of the simplified
+/// formula can be *extended* to a model of the original formula
+/// (SatELite-style reconstruction stack).
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/cnf.h"
+
+namespace csat::cnf {
+
+struct SimplifyParams {
+  bool unit_propagation = true;
+  bool pure_literals = true;
+  bool subsumption = true;
+  bool variable_elimination = true;
+  /// Variables with more than this many occurrences are never eliminated
+  /// (quadratic resolvent blow-up guard).
+  int bve_occurrence_limit = 16;
+  /// Simplification rounds (each round runs all enabled techniques).
+  int max_rounds = 3;
+};
+
+struct SimplifyStats {
+  std::uint64_t fixed_units = 0;
+  std::uint64_t pure_literals = 0;
+  std::uint64_t eliminated_vars = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t strengthened_clauses = 0;
+  std::uint64_t removed_clauses = 0;  ///< total clauses dropped
+};
+
+class SimplifyResult {
+ public:
+  Cnf cnf;  ///< simplified formula over the *same* variable space
+  SimplifyStats stats;
+  bool unsat = false;  ///< conflict found during preprocessing
+
+  /// Extends a model of `cnf` to a model of the original formula by
+  /// replaying the reconstruction stack (eliminated variables, pure
+  /// literals, fixed units) in reverse order.
+  [[nodiscard]] std::vector<bool> extend_model(std::vector<bool> model) const;
+
+  /// One reconstruction-stack entry (public so the implementation's worker
+  /// can assemble the stack; treat as read-only from user code).
+  struct Reconstruction {
+    std::uint32_t var = 0;
+    /// Original clauses containing the variable (for BVE), or a single
+    /// pseudo-clause {lit} for pure/unit fixes.
+    std::vector<std::vector<Lit>> clauses;
+  };
+  std::vector<Reconstruction> stack_;
+};
+
+/// Runs the preprocessing pipeline. The result's formula is
+/// equisatisfiable with the input, and extend_model() maps models back.
+SimplifyResult simplify(const Cnf& formula, const SimplifyParams& params = {});
+
+}  // namespace csat::cnf
+
+#endif  // CSAT_CNF_SIMPLIFY_H

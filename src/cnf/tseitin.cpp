@@ -1,0 +1,68 @@
+#include "cnf/tseitin.h"
+
+#include <limits>
+
+namespace csat::cnf {
+
+namespace {
+constexpr std::uint32_t kNoVar = std::numeric_limits<std::uint32_t>::max();
+}
+
+TseitinResult tseitin_encode(const aig::Aig& g) {
+  TseitinResult r;
+  r.node2var.assign(g.num_nodes(), kNoVar);
+
+  for (std::uint32_t pi : g.pis()) r.node2var[pi] = r.cnf.new_var();
+
+  const auto live = g.live_ands();
+  for (std::uint32_t n : live) r.node2var[n] = r.cnf.new_var();
+
+  auto lit_of = [&](aig::Lit l) {
+    CSAT_DCHECK(r.node2var[l.node()] != kNoVar);
+    return Lit::make(r.node2var[l.node()], l.is_compl());
+  };
+
+  for (std::uint32_t n : live) {
+    const Lit y = Lit::make(r.node2var[n], false);
+    const Lit a = lit_of(g.fanin0(n));
+    const Lit b = lit_of(g.fanin1(n));
+    r.cnf.add_binary(!y, a);
+    r.cnf.add_binary(!y, b);
+    r.cnf.add_ternary(y, !a, !b);
+  }
+
+  // Goal: at least one PO is 1. Constant POs are resolved here rather than
+  // encoded (the constant node has no CNF variable).
+  std::vector<Lit> goal;
+  for (aig::Lit po : g.pos()) {
+    if (po.node() == 0) {
+      if (po.is_compl()) r.trivially_sat = true;  // constant TRUE output
+      continue;                                   // constant FALSE contributes nothing
+    }
+    goal.push_back(lit_of(po));
+  }
+  if (r.trivially_sat) return r;
+  if (goal.empty()) {
+    r.trivially_unsat = true;
+    // Encode the contradiction so downstream solving still reports UNSAT.
+    const Lit f = Lit::make(r.cnf.num_vars() == 0 ? r.cnf.new_var() : 0, false);
+    r.cnf.add_unit(f);
+    r.cnf.add_unit(!f);
+    return r;
+  }
+  r.cnf.add_clause(goal);
+  return r;
+}
+
+std::vector<bool> witness_from_model(const aig::Aig& g, const TseitinResult& enc,
+                                     const std::vector<bool>& model) {
+  std::vector<bool> w;
+  w.reserve(g.num_pis());
+  for (std::uint32_t pi : g.pis()) {
+    const std::uint32_t v = enc.node2var[pi];
+    w.push_back(v != kNoVar && v < model.size() ? model[v] : false);
+  }
+  return w;
+}
+
+}  // namespace csat::cnf

@@ -1,0 +1,39 @@
+#ifndef CSAT_CNF_TSEITIN_H
+#define CSAT_CNF_TSEITIN_H
+
+/// \file tseitin.h
+/// Baseline AIG -> CNF encoding (Tseitin transformation).
+///
+/// This is the paper's *Baseline* pipeline: one variable per PI and per live
+/// AND node, three clauses per AND (y -> a, y -> b, a&b -> y), plus the CSAT
+/// goal constraint that at least one primary output evaluates to 1 (for the
+/// single-PO miters this is the usual unit clause on the miter output).
+
+#include <vector>
+
+#include "aig/aig.h"
+#include "cnf/cnf.h"
+
+namespace csat::cnf {
+
+struct TseitinResult {
+  Cnf cnf;
+  /// CNF variable of each live AIG node (UINT32_MAX when the node has no
+  /// variable, i.e. it is dead or the constant).
+  std::vector<std::uint32_t> node2var;
+  /// True when the goal is trivially unsatisfiable (all POs constant 0) or
+  /// trivially satisfiable (some PO constant 1).
+  bool trivially_unsat = false;
+  bool trivially_sat = false;
+};
+
+/// Encodes the CSAT instance "some PO of g is 1" into CNF.
+TseitinResult tseitin_encode(const aig::Aig& g);
+
+/// Extracts a witness (PI assignment) from a CNF model, indexed by PI order.
+std::vector<bool> witness_from_model(const aig::Aig& g, const TseitinResult& enc,
+                                     const std::vector<bool>& model);
+
+}  // namespace csat::cnf
+
+#endif  // CSAT_CNF_TSEITIN_H

@@ -1,0 +1,45 @@
+#ifndef CSAT_COMMON_CHECK_H
+#define CSAT_COMMON_CHECK_H
+
+/// \file check.h
+/// Lightweight assertion macros used across the library.
+///
+/// CSAT_CHECK is active in every build type: it guards API preconditions
+/// whose violation would corrupt data structures (wrong literal index,
+/// out-of-range variable, malformed netlist). CSAT_DCHECK compiles away in
+/// release builds and is used in hot inner loops (solver propagation, cut
+/// merging) where the invariant is internal.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csat {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "[csatopt] check failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace csat
+
+#define CSAT_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::csat::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CSAT_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) ::csat::check_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifndef NDEBUG
+#define CSAT_DCHECK(cond) CSAT_CHECK(cond)
+#else
+#define CSAT_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#endif
+
+#endif  // CSAT_COMMON_CHECK_H

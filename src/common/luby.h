@@ -1,0 +1,27 @@
+#ifndef CSAT_COMMON_LUBY_H
+#define CSAT_COMMON_LUBY_H
+
+/// \file luby.h
+/// Luby restart sequence (1,1,2,1,1,2,4,...) used by the SAT solver's
+/// restart scheduler. Shared here because tests exercise it directly.
+
+#include <cstdint>
+
+namespace csat {
+
+/// Returns the i-th element of the Luby sequence (i >= 1).
+inline std::uint64_t luby(std::uint64_t i) {
+  // Find the subsequence [2^k - 1] containing i, then recurse.
+  std::uint64_t k = 1;
+  while (((1ULL << k) - 1) < i) ++k;
+  while (((1ULL << k) - 1) != i) {
+    i -= (1ULL << (k - 1)) - 1;
+    k = 1;
+    while (((1ULL << k) - 1) < i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+}  // namespace csat
+
+#endif  // CSAT_COMMON_LUBY_H

@@ -1,0 +1,31 @@
+#ifndef CSAT_COMMON_STOPWATCH_H
+#define CSAT_COMMON_STOPWATCH_H
+
+/// \file stopwatch.h
+/// Wall-clock timing for the benchmark harness and the pipeline reports.
+
+#include <chrono>
+
+namespace csat {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csat
+
+#endif  // CSAT_COMMON_STOPWATCH_H

@@ -1,0 +1,152 @@
+#include "core/pipeline.h"
+
+#include "cnf/simplify.h"
+#include "cnf/tseitin.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace csat::core {
+
+const char* to_string(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::kBaseline:
+      return "Baseline";
+    case PipelineMode::kComp:
+      return "Comp.";
+    case PipelineMode::kOurs:
+      return "Ours";
+    case PipelineMode::kOursRandom:
+      return "w/o RL";
+    case PipelineMode::kOursAreaMapper:
+      return "C. Mapper";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Optional CNF-level preprocessing; returns the formula to solve and a
+/// model hook that maps a model of it back onto the original variables.
+struct EncodedFormula {
+  cnf::Cnf formula;
+  std::optional<cnf::SimplifyResult> simplified;
+
+  [[nodiscard]] std::vector<bool> restore(std::vector<bool> model,
+                                          std::uint32_t original_vars) const {
+    model.resize(original_vars);
+    if (simplified.has_value()) return simplified->extend_model(std::move(model));
+    return model;
+  }
+};
+
+EncodedFormula maybe_simplify(cnf::Cnf cnf, bool enable) {
+  EncodedFormula e;
+  if (!enable) {
+    e.formula = std::move(cnf);
+    return e;
+  }
+  e.simplified = cnf::simplify(cnf);
+  e.formula = e.simplified->cnf;
+  return e;
+}
+
+PipelineResult run_baseline(const aig::Aig& instance,
+                            const PipelineOptions& options) {
+  PipelineResult result;
+  Stopwatch watch;
+  const auto enc = cnf::tseitin_encode(instance);
+  const auto ef = maybe_simplify(enc.cnf, options.cnf_simplify);
+  result.preprocess_seconds = watch.seconds();
+  result.ands_before = result.ands_after = instance.num_live_ands();
+  result.cnf_vars = ef.formula.num_vars();
+  result.cnf_clauses = ef.formula.num_clauses();
+  if (enc.trivially_sat) {
+    result.status = sat::Status::kSat;
+    result.witness.assign(instance.num_pis(), false);
+    return result;
+  }
+  watch.restart();
+  const auto r = sat::solve_cnf(ef.formula, options.solver, options.limits);
+  result.solve_seconds = watch.seconds();
+  result.status = r.status;
+  result.solver_stats = r.stats;
+  if (r.status == sat::Status::kSat) {
+    const auto model = ef.restore(r.model, enc.cnf.num_vars());
+    result.witness = cnf::witness_from_model(instance, enc, model);
+  }
+  return result;
+}
+
+}  // namespace
+
+PipelineResult solve_instance(const aig::Aig& instance,
+                              const PipelineOptions& options) {
+  if (options.mode == PipelineMode::kBaseline)
+    return run_baseline(instance, options);
+
+  // Select the policy and the mapper cost for the preprocessing arm.
+  PreprocessOptions popt;
+  popt.max_steps = options.max_steps;
+  popt.normalize = options.normalize;
+  popt.mapper.cost = options.mode == PipelineMode::kComp ||
+                             options.mode == PipelineMode::kOursAreaMapper
+                         ? lut::CostKind::kArea
+                         : lut::CostKind::kBranching;
+
+  rl::FixedRecipePolicy fixed(synth::compress2_recipe());
+  rl::RandomPolicy random(options.seed);
+  std::optional<rl::DqnPolicy> dqn;
+  rl::Policy* policy = &fixed;
+  switch (options.mode) {
+    case PipelineMode::kComp:
+      policy = &fixed;
+      break;
+    case PipelineMode::kOursRandom:
+      policy = &random;
+      break;
+    case PipelineMode::kOurs:
+    case PipelineMode::kOursAreaMapper:
+      if (options.agent != nullptr) {
+        dqn.emplace(*options.agent);
+        policy = &*dqn;
+      }
+      break;
+    case PipelineMode::kBaseline:
+      CSAT_CHECK_MSG(false, "unreachable");
+  }
+
+  PipelineResult result;
+  Stopwatch watch;
+  const Preprocessor pre(popt);
+  const PreprocessResult p = pre.run(instance, *policy);
+  result.preprocess_seconds = watch.seconds();
+  result.recipe = p.recipe;
+  result.ands_before = p.ands_before;
+  result.ands_after = p.ands_after;
+  result.num_luts = p.num_luts;
+  result.cnf_vars = p.cnf.num_vars();
+  result.cnf_clauses = p.cnf.num_clauses();
+
+  if (p.trivially_sat) {
+    result.status = sat::Status::kSat;
+    result.witness.assign(instance.num_pis(), false);
+    return result;
+  }
+  watch.restart();
+  const auto ef = maybe_simplify(p.cnf, options.cnf_simplify);
+  result.preprocess_seconds += watch.seconds();
+  result.cnf_vars = ef.formula.num_vars();
+  result.cnf_clauses = ef.formula.num_clauses();
+  watch.restart();
+  const auto r = sat::solve_cnf(ef.formula, options.solver, options.limits);
+  result.solve_seconds = watch.seconds();
+  result.status = r.status;
+  result.solver_stats = r.stats;
+  if (r.status == sat::Status::kSat) {
+    const auto model = ef.restore(r.model, p.cnf.num_vars());
+    result.witness = lut::witness_from_model(p.netlist, p.encoding_info, model);
+  }
+  return result;
+}
+
+}  // namespace csat::core

@@ -1,0 +1,84 @@
+#ifndef CSAT_CORE_PIPELINE_H
+#define CSAT_CORE_PIPELINE_H
+
+/// \file pipeline.h
+/// End-to-end CSAT solving pipelines — the experimental arms of the paper's
+/// evaluation (Fig. 4 and Fig. 5):
+///
+///   kBaseline   — direct Tseitin encoding, no preprocessing (Fig. 4
+///                 "Baseline").
+///   kComp       — Eén-Mishchenko-Sörensson-style circuit preprocessing:
+///                 fixed synthesis script + *size*-oriented (area) LUT
+///                 mapping (Fig. 4 "Comp.").
+///   kOurs       — the paper's framework: RL policy + branching-cost
+///                 mapping (Fig. 4/5 "Ours"). Needs a trained DqnAgent.
+///   kOursRandom — random synthesis policy, branching-cost mapping (Fig. 5
+///                 "w/o RL").
+///   kOursAreaMapper — RL policy, conventional area mapper (Fig. 5
+///                 "C. Mapper").
+///
+/// Every run reports status, phase timings and solver statistics so the
+/// benchmark harness can assemble the paper's cactus curves and totals.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aig/aig.h"
+#include "core/preprocessor.h"
+#include "rl/dqn.h"
+#include "sat/solver.h"
+
+namespace csat::core {
+
+enum class PipelineMode {
+  kBaseline,
+  kComp,
+  kOurs,
+  kOursRandom,
+  kOursAreaMapper,
+};
+
+[[nodiscard]] const char* to_string(PipelineMode mode);
+
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::kOurs;
+  sat::SolverConfig solver = sat::SolverConfig::kissat_like();
+  sat::Limits limits;  ///< per-instance solver budget (the paper's 1000 s cap)
+  int max_steps = 10;  ///< T
+  bool normalize = true;
+  /// Run the CNF-level preprocessor (SatELite/NiVER-style; cnf/simplify.h)
+  /// on the encoded formula before solving — the "default CNF-based
+  /// preprocessing" the paper keeps enabled underneath its framework.
+  bool cnf_simplify = false;
+  /// Trained agent for the RL arms (kOurs / kOursAreaMapper); when null
+  /// those arms fall back to the fixed compress2 script (documented).
+  const rl::DqnAgent* agent = nullptr;
+  std::uint64_t seed = 1;  ///< randomness for kOursRandom
+};
+
+struct PipelineResult {
+  sat::Status status = sat::Status::kUnknown;
+  double preprocess_seconds = 0.0;
+  double solve_seconds = 0.0;
+  [[nodiscard]] double total_seconds() const {
+    return preprocess_seconds + solve_seconds;
+  }
+  sat::Stats solver_stats;
+  std::size_t cnf_vars = 0;
+  std::size_t cnf_clauses = 0;
+  std::size_t ands_before = 0;
+  std::size_t ands_after = 0;
+  std::size_t num_luts = 0;
+  std::vector<synth::SynthOp> recipe;
+  /// PI assignment witnessing SAT (empty otherwise).
+  std::vector<bool> witness;
+};
+
+/// Runs one instance through the selected pipeline arm.
+PipelineResult solve_instance(const aig::Aig& instance,
+                              const PipelineOptions& options);
+
+}  // namespace csat::core
+
+#endif  // CSAT_CORE_PIPELINE_H

@@ -1,0 +1,199 @@
+#include "gen/arith.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace csat::gen {
+
+using aig::Aig;
+using aig::kFalse;
+using aig::Lit;
+
+Word input_word(Aig& g, int width) {
+  Word w;
+  w.reserve(width);
+  for (int i = 0; i < width; ++i) w.push_back(g.add_pi());
+  return w;
+}
+
+namespace {
+
+Lit bit_or_false(const Word& w, std::size_t i) {
+  return i < w.size() ? w[i] : kFalse;
+}
+
+/// Full adder: returns (sum, carry).
+std::pair<Lit, Lit> full_adder(Aig& g, Lit a, Lit b, Lit c) {
+  const Lit ab = g.xor2(a, b);
+  const Lit sum = g.xor2(ab, c);
+  const Lit carry = g.or2(g.and2(a, b), g.and2(ab, c));
+  return {sum, carry};
+}
+
+}  // namespace
+
+Word ripple_carry_add(Aig& g, const Word& a, const Word& b, Lit carry_in,
+                      bool with_carry_out) {
+  const std::size_t width = std::max(a.size(), b.size());
+  Word sum;
+  sum.reserve(width + 1);
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < width; ++i) {
+    auto [s, c] = full_adder(g, bit_or_false(a, i), bit_or_false(b, i), carry);
+    sum.push_back(s);
+    carry = c;
+  }
+  if (with_carry_out) sum.push_back(carry);
+  return sum;
+}
+
+Word kogge_stone_add(Aig& g, const Word& a, const Word& b, Lit carry_in,
+                     bool with_carry_out) {
+  const std::size_t width = std::max(a.size(), b.size());
+  // Generate/propagate pairs per bit; prefix-combine with doubling spans.
+  std::vector<Lit> gen(width), prop(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const Lit ai = bit_or_false(a, i);
+    const Lit bi = bit_or_false(b, i);
+    gen[i] = g.and2(ai, bi);
+    prop[i] = g.xor2(ai, bi);
+  }
+  // Fold carry_in into bit 0 as an extra generate term.
+  std::vector<Lit> pg = gen, pp = prop;
+  if (carry_in != kFalse) pg[0] = g.or2(gen[0], g.and2(prop[0], carry_in));
+  for (std::size_t span = 1; span < width; span *= 2) {
+    std::vector<Lit> ng = pg, np = pp;
+    for (std::size_t i = span; i < width; ++i) {
+      ng[i] = g.or2(pg[i], g.and2(pp[i], pg[i - span]));
+      np[i] = g.and2(pp[i], pp[i - span]);
+    }
+    pg = std::move(ng);
+    pp = std::move(np);
+  }
+  // carry into bit i is prefix generate of bit i-1; carry_in reaches bit 0.
+  Word sum;
+  sum.reserve(width + 1);
+  for (std::size_t i = 0; i < width; ++i) {
+    const Lit cin = i == 0 ? carry_in : pg[i - 1];
+    sum.push_back(g.xor2(prop[i], cin));
+  }
+  if (with_carry_out) sum.push_back(pg[width - 1]);
+  return sum;
+}
+
+Word subtract(Aig& g, const Word& a, const Word& b) {
+  Word not_b;
+  not_b.reserve(b.size());
+  for (Lit l : b) not_b.push_back(!l);
+  while (not_b.size() < a.size()) not_b.push_back(!kFalse);
+  return ripple_carry_add(g, a, not_b, !kFalse);
+}
+
+Word array_multiply(Aig& g, const Word& a, const Word& b) {
+  const std::size_t wa = a.size();
+  const std::size_t wb = b.size();
+  Word acc(wa + wb, kFalse);
+  for (std::size_t j = 0; j < wb; ++j) {
+    // Partial product row j, added into the accumulator with a ripple row.
+    Lit carry = kFalse;
+    for (std::size_t i = 0; i < wa; ++i) {
+      const Lit pp = g.and2(a[i], b[j]);
+      auto [s, c] = full_adder(g, acc[i + j], pp, carry);
+      acc[i + j] = s;
+      carry = c;
+    }
+    acc[wa + j] = carry;
+  }
+  return acc;
+}
+
+Word shift_add_multiply(Aig& g, const Word& a, const Word& b) {
+  const std::size_t wa = a.size();
+  const std::size_t wb = b.size();
+  Word acc(wa + wb, kFalse);
+  for (std::size_t j = 0; j < wb; ++j) {
+    // Conditionally add (a << j) when b_j is set, using a full-width adder
+    // over the running accumulator (structurally unlike the array form).
+    Word addend(wa + wb, kFalse);
+    for (std::size_t i = 0; i < wa; ++i) addend[i + j] = g.and2(a[i], b[j]);
+    acc = ripple_carry_add(g, acc, addend);
+    acc.resize(wa + wb);
+  }
+  return acc;
+}
+
+aig::Lit equal(Aig& g, const Word& a, const Word& b) {
+  CSAT_CHECK(a.size() == b.size());
+  Lit r = !kFalse;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    r = g.and2(r, g.xnor2(a[i], b[i]));
+  return r;
+}
+
+aig::Lit less_than(Aig& g, const Word& a, const Word& b) {
+  CSAT_CHECK(a.size() == b.size());
+  // From LSB upward: lt = (~a & b) | (a==b & lt_below).
+  Lit lt = kFalse;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit bit_lt = g.and2(!a[i], b[i]);
+    const Lit bit_eq = g.xnor2(a[i], b[i]);
+    lt = g.or2(bit_lt, g.and2(bit_eq, lt));
+  }
+  return lt;
+}
+
+aig::Lit parity(Aig& g, const Word& w) {
+  CSAT_CHECK(!w.empty());
+  // Balanced reduction keeps the tree shallow.
+  Word layer = w;
+  while (layer.size() > 1) {
+    Word next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(g.xor2(layer[i], layer[i + 1]));
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+Word mux_tree(Aig& g, const std::vector<Word>& data, const Word& sel) {
+  CSAT_CHECK(!data.empty());
+  CSAT_CHECK(data.size() == (std::size_t{1} << sel.size()));
+  std::vector<Word> layer = data;
+  for (std::size_t s = 0; s < sel.size(); ++s) {
+    std::vector<Word> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      Word merged(layer[i].size());
+      for (std::size_t bit = 0; bit < merged.size(); ++bit)
+        merged[bit] = g.mux(sel[s], layer[i + 1][bit], layer[i][bit]);
+      next.push_back(std::move(merged));
+    }
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+Word alu(Aig& g, const Word& a, const Word& b, const Word& op) {
+  CSAT_CHECK(op.size() == 3);
+  CSAT_CHECK(a.size() == b.size());
+  const std::size_t width = a.size();
+
+  Word add = ripple_carry_add(g, a, b);
+  add.resize(width);
+  Word sub = subtract(g, a, b);
+  sub.resize(width);
+  Word band(width), bor(width), bxor(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    band[i] = g.and2(a[i], b[i]);
+    bor[i] = g.or2(a[i], b[i]);
+    bxor[i] = g.xor2(a[i], b[i]);
+  }
+  Word ltw(width, kFalse);
+  ltw[0] = less_than(g, a, b);
+
+  const std::vector<Word> ops{add, sub, band, bor, bxor, ltw, add, sub};
+  return mux_tree(g, ops, op);
+}
+
+}  // namespace csat::gen

@@ -1,0 +1,66 @@
+#ifndef CSAT_GEN_ARITH_H
+#define CSAT_GEN_ARITH_H
+
+/// \file arith.h
+/// Word-level datapath circuit builders.
+///
+/// The paper evaluates on industrial LEC/ATPG instances derived from
+/// datapath circuits. These builders create the same class of logic —
+/// adders (two architectures), subtractors, array multipliers, comparators,
+/// ALUs, parity/XOR trees and MUX trees — so the generated miters exercise
+/// the same structures (carry chains, XOR-rich cones, reconvergence).
+/// All functions append to a caller-owned Aig; a Word is a little-endian
+/// vector of literals.
+
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace csat::gen {
+
+using Word = std::vector<aig::Lit>;
+
+/// Fresh primary-input word of the given width.
+Word input_word(aig::Aig& g, int width);
+
+/// Sum a+b+carry_in, result width = max(|a|,|b|); carry out appended when
+/// \p with_carry_out. Classic ripple-carry structure (deep carry chain).
+Word ripple_carry_add(aig::Aig& g, const Word& a, const Word& b,
+                      aig::Lit carry_in = aig::kFalse,
+                      bool with_carry_out = false);
+
+/// Same function as ripple_carry_add but built from generate/propagate
+/// prefix logic (Kogge-Stone style) — a structurally different adder, which
+/// is exactly what LEC miters compare.
+Word kogge_stone_add(aig::Aig& g, const Word& a, const Word& b,
+                     aig::Lit carry_in = aig::kFalse,
+                     bool with_carry_out = false);
+
+/// a - b in two's complement (ripple borrow via a + ~b + 1).
+Word subtract(aig::Aig& g, const Word& a, const Word& b);
+
+/// |a| x |b| -> |a|+|b| array multiplier (row-by-row carry-save).
+Word array_multiply(aig::Aig& g, const Word& a, const Word& b);
+
+/// Same product computed by shift-and-add over operand b — structurally
+/// very different from the array form; `a*b vs b*a` miters are the classic
+/// hard UNSAT family.
+Word shift_add_multiply(aig::Aig& g, const Word& a, const Word& b);
+
+/// Comparison predicates (unsigned).
+aig::Lit equal(aig::Aig& g, const Word& a, const Word& b);
+aig::Lit less_than(aig::Aig& g, const Word& a, const Word& b);
+
+/// Balanced XOR tree over a word (parity) — branching-hostile logic.
+aig::Lit parity(aig::Aig& g, const Word& w);
+
+/// 2^|sel|-to-1 multiplexer over equally sized data words.
+Word mux_tree(aig::Aig& g, const std::vector<Word>& data, const Word& sel);
+
+/// Small ALU: op selects among {add, subtract, and, or, xor, less-than}.
+/// \p op must have exactly 3 bits; unused opcodes replicate add.
+Word alu(aig::Aig& g, const Word& a, const Word& b, const Word& op);
+
+}  // namespace csat::gen
+
+#endif  // CSAT_GEN_ARITH_H

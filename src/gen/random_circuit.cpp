@@ -1,0 +1,43 @@
+#include "gen/random_circuit.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace csat::gen {
+
+aig::Aig random_aig(const RandomAigParams& params, std::uint64_t seed) {
+  CSAT_CHECK(params.num_pis >= 2 && params.num_gates >= 1 && params.num_pos >= 1);
+  Rng rng(seed);
+  aig::Aig g;
+  std::vector<aig::Lit> pool;
+  pool.reserve(params.num_pis + params.num_gates);
+  for (int i = 0; i < params.num_pis; ++i) pool.push_back(g.add_pi());
+
+  const auto pick = [&]() {
+    // Locality-biased index: raise a uniform draw to a power < 1 so larger
+    // (more recent) indices are favoured as locality grows.
+    const double u = rng.next_double();
+    const double exponent = 1.0 - 0.8 * params.locality;
+    const auto idx = static_cast<std::size_t>(
+        (1.0 - std::pow(u, exponent)) * static_cast<double>(pool.size()));
+    return pool[std::min(idx, pool.size() - 1)] ^ rng.next_bool();
+  };
+
+  for (int i = 0; i < params.num_gates; ++i) {
+    const aig::Lit a = pick();
+    const aig::Lit b = pick();
+    const aig::Lit out =
+        rng.next_double() < params.xor_fraction ? g.xor2(a, b) : g.and2(a, b);
+    pool.push_back(out);
+  }
+  for (int i = 0; i < params.num_pos; ++i) {
+    const std::size_t back = rng.next_below(pool.size() / 2 + 1);
+    g.add_po(pool[pool.size() - 1 - back] ^ rng.next_bool());
+  }
+  return g;
+}
+
+}  // namespace csat::gen

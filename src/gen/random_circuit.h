@@ -1,0 +1,31 @@
+#ifndef CSAT_GEN_RANDOM_CIRCUIT_H
+#define CSAT_GEN_RANDOM_CIRCUIT_H
+
+/// \file random_circuit.h
+/// Random AIG generators used by property tests and to diversify the
+/// benchmark suites beyond pure datapath shapes.
+
+#include <cstdint>
+
+#include "aig/aig.h"
+
+namespace csat::gen {
+
+struct RandomAigParams {
+  int num_pis = 8;
+  int num_gates = 100;
+  int num_pos = 1;
+  /// Probability that a generated gate is an XOR composite (3 ANDs) instead
+  /// of a plain AND — controls how branching-hostile the circuit is.
+  double xor_fraction = 0.0;
+  /// Bias toward recently created nodes when picking fanins (higher = deeper
+  /// circuits).
+  double locality = 0.5;
+};
+
+/// Deterministic random AIG for the given seed.
+aig::Aig random_aig(const RandomAigParams& params, std::uint64_t seed);
+
+}  // namespace csat::gen
+
+#endif  // CSAT_GEN_RANDOM_CIRCUIT_H

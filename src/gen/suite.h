@@ -1,0 +1,65 @@
+#ifndef CSAT_GEN_SUITE_H
+#define CSAT_GEN_SUITE_H
+
+/// \file suite.h
+/// Benchmark instance suites mirroring the paper's experimental setup
+/// (Section IV-A): LEC instances (two datapath implementations mitered
+/// through XOR; a fraction carry an injected bug and are therefore SAT) and
+/// ATPG instances (stuck-at-fault miters; SAT iff the fault is testable).
+///
+/// The paper's industrial suites (200 easy training + 300 hard test
+/// instances, up to ~24k gates) are proprietary; these generators rebuild
+/// the same construction at configurable scale. Instance hardness is
+/// steered by datapath width — commuted-multiplier equivalence miters are
+/// the hard UNSAT backbone, exactly the workload class LEC tools face.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace csat::gen {
+
+struct Instance {
+  std::string name;
+  aig::Aig circuit;  ///< single-PO CSAT miter
+  enum class Kind { kLec, kAtpg } kind = Kind::kLec;
+};
+
+/// Width range and mix weight for one datapath family. Hardness grows
+/// steeply with width for the multiplier family (the UNSAT backbone), so
+/// suites are tuned per family rather than with one global width.
+struct FamilyRange {
+  int min_width = 3;
+  int max_width = 5;
+  double weight = 0.2;
+};
+
+struct SuiteParams {
+  int count = 20;
+  std::uint64_t seed = 1;
+  /// Fraction of LEC instances that get an injected bug (=> SAT).
+  double bug_fraction = 0.5;
+  /// Fraction of instances built as ATPG (rest are LEC); the paper uses
+  /// 100 ATPG / 200 LEC.
+  double atpg_fraction = 1.0 / 3.0;
+  FamilyRange multiplier{3, 5, 0.30};
+  FamilyRange adder{4, 16, 0.25};
+  FamilyRange alu{4, 8, 0.20};
+  FamilyRange parity{6, 12, 0.15};  // width counts PI pairs (2w inputs)
+  FamilyRange random_xor{3, 6, 0.10};
+};
+
+/// Mixed LEC+ATPG suite per \p params.
+std::vector<Instance> make_suite(const SuiteParams& params);
+
+/// Paper-analog "easy" training suite (Table I class): small widths.
+std::vector<Instance> make_training_suite(int count = 200, std::uint64_t seed = 7);
+
+/// Paper-analog "hard" test suite (Fig. 4 class): larger widths.
+std::vector<Instance> make_test_suite(int count = 300, std::uint64_t seed = 9);
+
+}  // namespace csat::gen
+
+#endif  // CSAT_GEN_SUITE_H

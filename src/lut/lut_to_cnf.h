@@ -1,0 +1,38 @@
+#ifndef CSAT_LUT_LUT_TO_CNF_H
+#define CSAT_LUT_LUT_TO_CNF_H
+
+/// \file lut_to_cnf.h
+/// ISOP-based LUT netlist -> CNF encoding (the paper's `lut2cnf`, after
+/// Ling et al.).
+///
+/// For a LUT y = f(x): every cube c of ISOP(f) yields the clause (~c | y)
+/// and every cube of ISOP(~f) yields (~c | ~y). The per-LUT clause count is
+/// therefore exactly the branching complexity C(f) the mapper minimizes —
+/// the property that ties the cost-customized mapping to the CNF the solver
+/// sees. The CSAT goal (some PO = 1) is appended as in the Tseitin encoder.
+
+#include <vector>
+
+#include "cnf/cnf.h"
+#include "lut/lut_network.h"
+
+namespace csat::lut {
+
+struct LutCnfResult {
+  cnf::Cnf cnf;
+  /// CNF variable per netlist node.
+  std::vector<std::uint32_t> node2var;
+  bool trivially_sat = false;
+  bool trivially_unsat = false;
+};
+
+LutCnfResult lut_to_cnf(const LutNetwork& net);
+
+/// PI witness extraction from a CNF model.
+std::vector<bool> witness_from_model(const LutNetwork& net,
+                                     const LutCnfResult& enc,
+                                     const std::vector<bool>& model);
+
+}  // namespace csat::lut
+
+#endif  // CSAT_LUT_LUT_TO_CNF_H

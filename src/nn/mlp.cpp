@@ -1,0 +1,176 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace csat::nn {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  CSAT_CHECK(config_.layers.size() >= 2);
+  Rng rng(config_.seed);
+  for (std::size_t i = 0; i + 1 < config_.layers.size(); ++i) {
+    Layer l;
+    l.in = config_.layers[i];
+    l.out = config_.layers[i + 1];
+    CSAT_CHECK(l.in > 0 && l.out > 0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(l.in + l.out));
+    l.w.resize(static_cast<std::size_t>(l.in) * l.out);
+    for (auto& w : l.w) w = rng.next_gaussian() * scale;
+    l.b.assign(l.out, 0.0);
+    l.mw.assign(l.w.size(), 0.0);
+    l.vw.assign(l.w.size(), 0.0);
+    l.mb.assign(l.out, 0.0);
+    l.vb.assign(l.out, 0.0);
+    layers_.push_back(std::move(l));
+  }
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& input) const {
+  CSAT_CHECK(static_cast<int>(input.size()) == input_size());
+  std::vector<double> act = input;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& l = layers_[li];
+    std::vector<double> next(l.out);
+    for (int o = 0; o < l.out; ++o) {
+      double sum = l.b[o];
+      const double* row = &l.w[static_cast<std::size_t>(o) * l.in];
+      for (int i = 0; i < l.in; ++i) sum += row[i] * act[i];
+      next[o] = sum;
+    }
+    if (li + 1 < layers_.size())
+      for (auto& v : next) v = v > 0.0 ? v : 0.0;  // ReLU on hidden layers
+    act = std::move(next);
+  }
+  return act;
+}
+
+double Mlp::train_batch(const std::vector<std::vector<double>>& inputs,
+                        const std::vector<int>& actions,
+                        const std::vector<double>& targets) {
+  CSAT_CHECK(inputs.size() == actions.size() && inputs.size() == targets.size());
+  CSAT_CHECK(!inputs.empty());
+  const std::size_t batch = inputs.size();
+
+  // Gradient accumulators.
+  std::vector<std::vector<double>> gw(layers_.size());
+  std::vector<std::vector<double>> gb(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    gw[li].assign(layers_[li].w.size(), 0.0);
+    gb[li].assign(layers_[li].b.size(), 0.0);
+  }
+
+  double loss = 0.0;
+  std::vector<std::vector<double>> acts;  // per-layer activations (post-ReLU)
+  for (std::size_t s = 0; s < batch; ++s) {
+    // Forward with caches.
+    acts.assign(1, inputs[s]);
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      const Layer& l = layers_[li];
+      std::vector<double> next(l.out);
+      for (int o = 0; o < l.out; ++o) {
+        double sum = l.b[o];
+        const double* row = &l.w[static_cast<std::size_t>(o) * l.in];
+        for (int i = 0; i < l.in; ++i) sum += row[i] * acts[li][i];
+        next[o] = sum;
+      }
+      if (li + 1 < layers_.size())
+        for (auto& v : next) v = v > 0.0 ? v : 0.0;
+      acts.push_back(std::move(next));
+    }
+
+    const int a = actions[s];
+    CSAT_CHECK(a >= 0 && a < output_size());
+    const double err = acts.back()[a] - targets[s];
+    loss += err * err;
+
+    // Backward: only the chosen action's output carries gradient.
+    std::vector<double> delta(output_size(), 0.0);
+    delta[a] = 2.0 * err / static_cast<double>(batch);
+    for (std::size_t li = layers_.size(); li-- > 0;) {
+      const Layer& l = layers_[li];
+      const auto& in_act = acts[li];
+      std::vector<double> prev_delta(l.in, 0.0);
+      for (int o = 0; o < l.out; ++o) {
+        const double d = delta[o];
+        if (d == 0.0) continue;
+        gb[li][o] += d;
+        double* grow = &gw[li][static_cast<std::size_t>(o) * l.in];
+        const double* wrow = &l.w[static_cast<std::size_t>(o) * l.in];
+        for (int i = 0; i < l.in; ++i) {
+          grow[i] += d * in_act[i];
+          prev_delta[i] += d * wrow[i];
+        }
+      }
+      if (li > 0) {
+        // ReLU derivative w.r.t. the previous layer's post-activation.
+        for (int i = 0; i < l.in; ++i)
+          if (acts[li][i] <= 0.0) prev_delta[i] = 0.0;
+      }
+      delta = std::move(prev_delta);
+    }
+  }
+
+  // Adam update.
+  ++adam_t_;
+  const double b1t = 1.0 - std::pow(config_.beta1, static_cast<double>(adam_t_));
+  const double b2t = 1.0 - std::pow(config_.beta2, static_cast<double>(adam_t_));
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    Layer& l = layers_[li];
+    const auto update = [&](std::vector<double>& param, std::vector<double>& m,
+                            std::vector<double>& v, const std::vector<double>& grad) {
+      for (std::size_t i = 0; i < param.size(); ++i) {
+        m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * grad[i];
+        v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * grad[i] * grad[i];
+        const double mh = m[i] / b1t;
+        const double vh = v[i] / b2t;
+        param[i] -= config_.learning_rate * mh / (std::sqrt(vh) + config_.epsilon);
+      }
+    };
+    update(l.w, l.mw, l.vw, gw[li]);
+    update(l.b, l.mb, l.vb, gb[li]);
+  }
+  return loss / static_cast<double>(batch);
+}
+
+void Mlp::copy_weights_from(const Mlp& other) {
+  CSAT_CHECK(config_.layers == other.config_.layers);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    layers_[li].w = other.layers_[li].w;
+    layers_[li].b = other.layers_[li].b;
+  }
+}
+
+void Mlp::save(std::ostream& out) const {
+  out << "mlp " << layers_.size() + 1;
+  for (int l : config_.layers) out << ' ' << l;
+  out << '\n';
+  out.precision(17);
+  for (const Layer& l : layers_) {
+    for (double w : l.w) out << w << ' ';
+    out << '\n';
+    for (double b : l.b) out << b << ' ';
+    out << '\n';
+  }
+}
+
+void Mlp::load(std::istream& in) {
+  std::string magic;
+  std::size_t n = 0;
+  CSAT_CHECK_MSG(static_cast<bool>(in >> magic >> n) && magic == "mlp",
+                 "mlp: bad save header");
+  CSAT_CHECK_MSG(n == config_.layers.size(), "mlp: layer count mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    int width = 0;
+    CSAT_CHECK(static_cast<bool>(in >> width) && width == config_.layers[i]);
+  }
+  for (Layer& l : layers_) {
+    for (double& w : l.w) CSAT_CHECK(static_cast<bool>(in >> w));
+    for (double& b : l.b) CSAT_CHECK(static_cast<bool>(in >> b));
+  }
+}
+
+}  // namespace csat::nn

@@ -1,0 +1,92 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace csat::rl {
+
+namespace {
+
+nn::MlpConfig make_mlp_config(const DqnConfig& c, std::uint64_t seed_shift) {
+  nn::MlpConfig m;
+  m.layers.push_back(c.state_size);
+  for (int h : c.hidden) m.layers.push_back(h);
+  m.layers.push_back(synth::kNumSynthActions);
+  m.learning_rate = c.learning_rate;
+  m.seed = c.seed + seed_shift;
+  return m;
+}
+
+int argmax(const std::vector<double>& v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(DqnConfig config)
+    : config_(config),
+      online_(make_mlp_config(config, 0)),
+      target_(make_mlp_config(config, 0)),  // same seed: identical init
+      replay_(config.replay_capacity),
+      rng_(config.seed ^ 0xA6E47) {}
+
+double DqnAgent::epsilon() const {
+  const double frac = std::min(
+      1.0, static_cast<double>(act_steps_) /
+               std::max(1, config_.epsilon_decay_steps));
+  return config_.epsilon_start +
+         frac * (config_.epsilon_end - config_.epsilon_start);
+}
+
+synth::SynthOp DqnAgent::act(const std::vector<double>& state) {
+  const double eps = epsilon();
+  ++act_steps_;
+  if (rng_.next_double() < eps) {
+    return static_cast<synth::SynthOp>(
+        rng_.next_below(synth::kNumSynthActions));
+  }
+  return act_greedy(state);
+}
+
+synth::SynthOp DqnAgent::act_greedy(const std::vector<double>& state) const {
+  return static_cast<synth::SynthOp>(argmax(online_.forward(state)));
+}
+
+std::vector<double> DqnAgent::q_values(const std::vector<double>& state) const {
+  return online_.forward(state);
+}
+
+double DqnAgent::train_step() {
+  if (replay_.size() < static_cast<std::size_t>(config_.batch_size)) return 0.0;
+  const auto batch = replay_.sample(config_.batch_size, rng_);
+
+  std::vector<std::vector<double>> inputs;
+  std::vector<int> actions;
+  std::vector<double> targets;
+  inputs.reserve(batch.size());
+  actions.reserve(batch.size());
+  targets.reserve(batch.size());
+  for (const Transition* t : batch) {
+    double y = t->reward;
+    if (!t->done) {
+      const auto q_next = target_.forward(t->next_state);
+      y += config_.gamma * *std::max_element(q_next.begin(), q_next.end());
+    }
+    inputs.push_back(t->state);
+    actions.push_back(t->action);
+    targets.push_back(y);
+  }
+  const double loss = online_.train_batch(inputs, actions, targets);
+
+  if (++train_steps_ % config_.target_sync_every == 0)
+    target_.copy_weights_from(online_);
+  return loss;
+}
+
+void DqnAgent::load(std::istream& in) {
+  online_.load(in);
+  target_.copy_weights_from(online_);
+}
+
+}  // namespace csat::rl

@@ -1,0 +1,85 @@
+#include "rl/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aig/simulate.h"
+#include "common/rng.h"
+
+namespace csat::rl {
+
+std::vector<double> functional_embedding(const aig::Aig& g, std::uint64_t seed) {
+  std::vector<double> e(kEmbeddingDim, 0.0);
+  const auto live = g.live_ands();
+  const double n_live = static_cast<double>(std::max<std::size_t>(1, live.size()));
+
+  // [0..7] level histogram.
+  const int depth = std::max(1, g.depth());
+  for (std::uint32_t n : live) {
+    int bin = (g.level(n) * 8) / (depth + 1);
+    bin = std::min(bin, 7);
+    e[bin] += 1.0 / n_live;
+  }
+
+  // [8..11] fanout histogram.
+  for (std::uint32_t n : live) {
+    const std::uint32_t fo = g.fanout_count(n);
+    const int bin = fo >= 4 ? 3 : static_cast<int>(fo) - 1;
+    if (bin >= 0) e[8 + bin] += 1.0 / n_live;
+  }
+
+  // Random simulation: 4 rounds x 64 patterns.
+  Rng rng(seed);
+  constexpr int kRounds = 4;
+  std::vector<double> po_density(g.num_pos(), 0.0);
+  std::vector<double> node_density(g.num_nodes(), 0.0);
+  std::vector<std::uint64_t> pi_words(g.num_pis());
+  for (int r = 0; r < kRounds; ++r) {
+    for (auto& w : pi_words) w = rng.next_u64();
+    const auto val = aig::simulate_words(g, pi_words);
+    for (std::size_t i = 0; i < g.num_pos(); ++i) {
+      const aig::Lit po = g.pos()[i];
+      const std::uint64_t w = val[po.node()] ^ (po.is_compl() ? ~0ULL : 0ULL);
+      po_density[i] += __builtin_popcountll(w) / (64.0 * kRounds);
+    }
+    for (std::uint32_t n : live)
+      node_density[n] += __builtin_popcountll(val[n]) / (64.0 * kRounds);
+  }
+
+  // [12..15] PO density stats.
+  if (!po_density.empty()) {
+    double mean = 0.0, mn = 1.0, mx = 0.0;
+    for (double d : po_density) {
+      mean += d;
+      mn = std::min(mn, d);
+      mx = std::max(mx, d);
+    }
+    mean /= static_cast<double>(po_density.size());
+    double var = 0.0;
+    for (double d : po_density) var += (d - mean) * (d - mean);
+    var /= static_cast<double>(po_density.size());
+    e[12] = mean;
+    e[13] = mn;
+    e[14] = mx;
+    e[15] = std::sqrt(var);
+  }
+
+  // [16..27] internal signature-density histogram (12 bins over [0,1]).
+  for (std::uint32_t n : live) {
+    int bin = static_cast<int>(node_density[n] * 12.0);
+    bin = std::clamp(bin, 0, 11);
+    e[16 + bin] += 1.0 / n_live;
+  }
+
+  // [28..31] global scalars.
+  e[28] = std::log2(1.0 + static_cast<double>(g.num_ands())) / 24.0;
+  e[29] = std::log2(1.0 + static_cast<double>(g.num_pis())) / 12.0;
+  e[30] = static_cast<double>(g.depth()) / (1.0 + n_live);
+  e[31] = g.num_edges() > 0
+              ? static_cast<double>(g.num_complemented_edges()) /
+                    static_cast<double>(g.num_edges())
+              : 0.0;
+  return e;
+}
+
+}  // namespace csat::rl

@@ -1,0 +1,83 @@
+#ifndef CSAT_RL_ENV_H
+#define CSAT_RL_ENV_H
+
+/// \file env.h
+/// The logic-synthesis MDP (paper Section III-B).
+///
+/// State:      s_t = concat(E(G_t), D(G_0))           (Eq. 2)
+/// Actions:    {rewrite, refactor, balance, resub, end}
+/// Transition: G_{t+1} = F(G_t, a_t) via the synthesis engine
+/// Reward:     terminal only (Eq. 3): the *reduction in solver decisions*
+///             between the baseline CNF of G_0 and the full-pipeline CNF
+///             (cost-customized LUT mapping + lut2cnf) of the final G_T,
+///             normalized by the baseline count for numeric stability
+///             (documented deviation; the paper uses the raw difference).
+///
+/// The solver runs under a conflict budget so that even a pathological
+/// intermediate circuit cannot stall training; the paper makes the same
+/// argument for preferring branching counts over wall-clock rewards.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.h"
+#include "lut/mapper.h"
+#include "sat/solver.h"
+#include "synth/recipe.h"
+
+namespace csat::rl {
+
+struct EnvConfig {
+  int max_steps = 10;  ///< T in the paper
+  sat::SolverConfig solver = sat::SolverConfig::kissat_like();
+  sat::Limits solve_limits;  ///< default: 100k conflicts (set in ctor use)
+  lut::MapperParams mapper;  ///< pipeline mapper (branching cost by default)
+  EnvConfig() {
+    solve_limits.max_conflicts = 100000;
+    mapper.cost = lut::CostKind::kBranching;
+  }
+};
+
+struct StepResult {
+  std::vector<double> state;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class SynthEnv {
+ public:
+  explicit SynthEnv(EnvConfig config = {});
+
+  /// Starts an episode on a CSAT instance; returns s_0.
+  std::vector<double> reset(const aig::Aig& instance);
+
+  /// Applies one action. After `done`, call reset() again.
+  StepResult step(synth::SynthOp action);
+
+  [[nodiscard]] int step_count() const { return step_; }
+  [[nodiscard]] const aig::Aig& current() const { return current_; }
+  [[nodiscard]] std::uint64_t baseline_decisions() const {
+    return baseline_decisions_;
+  }
+  /// Decisions of the full pipeline on the final circuit (valid once done).
+  [[nodiscard]] std::uint64_t final_decisions() const { return final_decisions_; }
+
+  [[nodiscard]] int state_size() const;
+
+ private:
+  [[nodiscard]] std::vector<double> make_state() const;
+  [[nodiscard]] std::uint64_t pipeline_decisions(const aig::Aig& g) const;
+
+  EnvConfig config_;
+  aig::Aig initial_;
+  aig::Aig current_;
+  std::vector<double> embedding_;
+  std::uint64_t baseline_decisions_ = 0;
+  std::uint64_t final_decisions_ = 0;
+  int step_ = 0;
+  bool done_ = true;
+};
+
+}  // namespace csat::rl
+
+#endif  // CSAT_RL_ENV_H

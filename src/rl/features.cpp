@@ -1,0 +1,40 @@
+#include "rl/features.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace csat::rl {
+
+double average_balance_ratio(const aig::Aig& g) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::uint32_t n = 1; n < g.num_nodes(); ++n) {
+    if (!g.is_and(n)) continue;
+    const int d0 = g.level(g.fanin0(n).node());
+    const int d1 = g.level(g.fanin1(n).node());
+    const int mx = std::max(d0, d1);
+    if (mx > 0) sum += static_cast<double>(std::abs(d0 - d1)) / mx;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::vector<double> extract_features(const aig::Aig& g, const aig::Aig& g0) {
+  const auto safe_ratio = [](double num, double den) {
+    return den > 0.0 ? num / den : 0.0;
+  };
+  const double ands = static_cast<double>(g.num_ands());
+  const double invs = static_cast<double>(g.num_complemented_edges());
+  std::vector<double> f(kNumStateFeatures, 0.0);
+  f[0] = safe_ratio(ands, static_cast<double>(g0.num_ands()));
+  f[1] = safe_ratio(g.depth(), g0.depth());
+  f[2] = safe_ratio(static_cast<double>(g.num_edges()),
+                    static_cast<double>(g0.num_edges()));
+  f[3] = safe_ratio(ands, ands + invs);
+  f[4] = safe_ratio(invs, ands + invs);
+  f[5] = average_balance_ratio(g);
+  return f;
+}
+
+}  // namespace csat::rl

@@ -1,0 +1,34 @@
+#ifndef CSAT_RL_FEATURES_H
+#define CSAT_RL_FEATURES_H
+
+/// \file features.h
+/// The paper's hand-crafted state features E(G_t) (Section III-B2).
+///
+/// Six scalars describing the current netlist relative to the initial one:
+///   0. area ratio          #AND(G_t) / #AND(G_0)
+///   1. depth ratio         depth(G_t) / depth(G_0)
+///   2. wire-count ratio    edges(G_t) / edges(G_0)
+///   3. AND proportion      #AND / (#AND + #inverter-edges)
+///   4. NOT proportion      #inverter-edges / (#AND + #inverter-edges)
+///      (inverters live on complemented edges in an AIG; documented
+///       interpretation of the paper's gate-proportion features)
+///   5. average balance ratio (Eq. 1):
+///      br = sum over AND nodes of |d(P1)-d(P2)| / max(d(P1),d(P2)) / #AND
+
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace csat::rl {
+
+inline constexpr int kNumStateFeatures = 6;
+
+/// E(G_t) relative to the initial netlist \p g0.
+std::vector<double> extract_features(const aig::Aig& g, const aig::Aig& g0);
+
+/// Eq. (1) on its own (also used by tests and the feature analysis bench).
+double average_balance_ratio(const aig::Aig& g);
+
+}  // namespace csat::rl
+
+#endif  // CSAT_RL_FEATURES_H

@@ -1,0 +1,73 @@
+#ifndef CSAT_RL_POLICY_H
+#define CSAT_RL_POLICY_H
+
+/// \file policy.h
+/// Synthesis-recipe policies consumed by the preprocessing framework
+/// (Algorithm 1, line 10). Three implementations cover the paper's
+/// experimental arms:
+///   * DqnPolicy    — greedy argmax over the trained Q-network ("Ours"),
+///   * RandomPolicy — uniform random over the four synthesis ops for T
+///     steps (the "w/o RL" ablation of Fig. 5),
+///   * FixedRecipePolicy — a predetermined script (the Comp. baseline uses
+///     the compress2-like script of Eén-Mishchenko-Sörensson '07).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/dqn.h"
+#include "synth/recipe.h"
+
+namespace csat::rl {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  /// Called once per instance before the first decision.
+  virtual void begin() {}
+  /// Chooses the next synthesis op given the current state s_t.
+  virtual synth::SynthOp next_op(const std::vector<double>& state) = 0;
+};
+
+class DqnPolicy final : public Policy {
+ public:
+  explicit DqnPolicy(const DqnAgent& agent) : agent_(&agent) {}
+  synth::SynthOp next_op(const std::vector<double>& state) override {
+    return agent_->act_greedy(state);
+  }
+
+ private:
+  const DqnAgent* agent_;
+};
+
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  synth::SynthOp next_op(const std::vector<double>& /*state*/) override {
+    // Uniform over the four real ops; never chooses `end` (the framework's
+    // step cap T terminates the episode), matching the paper's ablation.
+    return static_cast<synth::SynthOp>(
+        rng_.next_below(synth::kNumSynthActions - 1));
+  }
+
+ private:
+  Rng rng_;
+};
+
+class FixedRecipePolicy final : public Policy {
+ public:
+  explicit FixedRecipePolicy(std::vector<synth::SynthOp> recipe)
+      : recipe_(std::move(recipe)) {}
+  void begin() override { index_ = 0; }
+  synth::SynthOp next_op(const std::vector<double>& /*state*/) override {
+    if (index_ >= recipe_.size()) return synth::SynthOp::kEnd;
+    return recipe_[index_++];
+  }
+
+ private:
+  std::vector<synth::SynthOp> recipe_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace csat::rl
+
+#endif  // CSAT_RL_POLICY_H

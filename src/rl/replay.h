@@ -1,0 +1,60 @@
+#ifndef CSAT_RL_REPLAY_H
+#define CSAT_RL_REPLAY_H
+
+/// \file replay.h
+/// Experience replay buffer for DQN (fixed-capacity ring, uniform
+/// sampling). Transitions store the post-action state so the target
+/// bootstrap max_a Q̂(s', a) of Eq. (5) can be computed at training time.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace csat::rl {
+
+struct Transition {
+  std::vector<double> state;
+  int action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity = 10000) : capacity_(capacity) {
+    CSAT_CHECK(capacity > 0);
+  }
+
+  void push(Transition t) {
+    if (data_.size() < capacity_) {
+      data_.push_back(std::move(t));
+    } else {
+      data_[head_] = std::move(t);
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Uniform sample with replacement (indices into the buffer).
+  [[nodiscard]] std::vector<const Transition*> sample(std::size_t n, Rng& rng) const {
+    CSAT_CHECK(!data_.empty());
+    std::vector<const Transition*> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      batch.push_back(&data_[rng.next_below(data_.size())]);
+    return batch;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::vector<Transition> data_;
+};
+
+}  // namespace csat::rl
+
+#endif  // CSAT_RL_REPLAY_H

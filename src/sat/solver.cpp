@@ -1,0 +1,563 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/luby.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace csat::sat {
+
+namespace {
+constexpr Lit kLitUndef = Lit(std::numeric_limits<std::uint32_t>::max());
+}
+
+Solver::Solver(SolverConfig config) : config_(config), rng_state_(config.seed | 1) {}
+
+std::uint32_t Solver::new_var() {
+  const std::uint32_t v = static_cast<std::uint32_t>(assign_.size());
+  assign_.push_back(kUnknown);
+  phase_.push_back(config_.default_phase ? kTrue : kFalse);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+void Solver::add_formula(const Cnf& formula) {
+  while (num_vars() < formula.num_vars()) new_var();
+  for (std::size_t i = 0; i < formula.num_clauses(); ++i) {
+    if (!add_clause(formula.clause(i))) return;  // already UNSAT; keep ok_ false
+  }
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  if (!ok_) return false;
+  CSAT_CHECK_MSG(decision_level() == 0, "clauses must be added at level 0");
+
+  // Normalize: sort, drop duplicates and false@0 literals, detect tautology
+  // and satisfied@0 clauses.
+  std::vector<Lit> c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end());
+  std::vector<Lit> out;
+  out.reserve(c.size());
+  Lit prev = kLitUndef;
+  for (Lit l : c) {
+    CSAT_CHECK(l.var() < num_vars());
+    if (l == prev) continue;
+    if (prev != kLitUndef && l == !prev) return true;  // tautology
+    const std::uint8_t v = value(l);
+    if (v == kTrue && level_[l.var()] == 0) return true;  // satisfied at root
+    if (v == kFalse && level_[l.var()] == 0) {
+      prev = l;
+      continue;  // falsified at root: drop literal
+    }
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    if (value(out[0]) == kFalse) {
+      ok_ = false;
+      return false;
+    }
+    if (value(out[0]) == kUnknown) enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  attach_clause(std::move(out), /*learnt=*/false, /*lbd=*/0);
+  return true;
+}
+
+Solver::ClauseRef Solver::attach_clause(std::vector<Lit> lits, bool learnt,
+                                        std::uint32_t lbd) {
+  CSAT_DCHECK(lits.size() >= 2);
+  const ClauseRef cref = static_cast<ClauseRef>(clauses_.size());
+  Clause cl;
+  cl.lits = std::move(lits);
+  cl.learnt = learnt;
+  cl.lbd = lbd;
+  cl.activity = learnt ? clause_inc_ : 0.0;
+  clauses_.push_back(std::move(cl));
+  const Clause& c = clauses_.back();
+  watches_[(!c.lits[0]).x].push_back({cref, c.lits[1]});
+  watches_[(!c.lits[1]).x].push_back({cref, c.lits[0]});
+  if (learnt) {
+    learnt_refs_.push_back(cref);
+    ++stats_.learned;
+  }
+  return cref;
+}
+
+void Solver::detach_clause(ClauseRef cref) {
+  Clause& c = clauses_[cref];
+  for (Lit w : {c.lits[0], c.lits[1]}) {
+    auto& ws = watches_[(!w).x];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+  c.deleted = true;
+  c.lits.clear();
+  c.lits.shrink_to_fit();
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  CSAT_DCHECK(value(l) == kUnknown);
+  assign_[l.var()] = static_cast<std::uint8_t>(l.sign() ? kFalse : kTrue);
+  level_[l.var()] = decision_level();
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  ClauseRef confl = kNoReason;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is now true
+    ++stats_.propagations;
+    auto& ws = watches_[p.x];
+    std::size_t keep = 0;
+    std::size_t i = 0;
+    for (; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.cref];
+      // Normalize so the false literal (~p) sits at position 1.
+      const Lit not_p = !p;
+      if (c.lits[0] == not_p) std::swap(c.lits[0], c.lits[1]);
+      CSAT_DCHECK(c.lits[1] == not_p);
+      const Lit first = c.lits[0];
+      if (first != w.blocker && value(first) == kTrue) {
+        ws[keep++] = {w.cref, first};
+        continue;
+      }
+      // Search for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(!c.lits[1]).x].push_back({w.cref, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watcher migrated; drop from this list
+      // Clause is unit or conflicting.
+      ws[keep++] = {w.cref, first};
+      if (value(first) == kFalse) {
+        confl = w.cref;
+        qhead_ = trail_.size();
+        // Preserve the remaining watchers before aborting the scan.
+        for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
+        break;
+      }
+      enqueue(first, w.cref);
+    }
+    ws.resize(keep);
+    if (confl != kNoReason) break;
+  }
+  return confl;
+}
+
+void Solver::backtrack(std::uint32_t target) {
+  if (decision_level() <= target) return;
+  const std::uint32_t limit = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i-- > limit;) {
+    const std::uint32_t v = trail_[i].var();
+    if (config_.phase_saving) phase_[v] = assign_[v];
+    assign_[v] = kUnknown;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(limit);
+  trail_lim_.resize(target);
+  qhead_ = limit;
+}
+
+std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  // Count distinct decision levels using a stamped set keyed by level.
+  static thread_local std::vector<std::uint64_t> stamp;
+  static thread_local std::uint64_t stamp_gen = 0;
+  if (stamp.size() <= decision_level() + 1) stamp.resize(decision_level() + 2, 0);
+  ++stamp_gen;
+  std::uint32_t lbd = 0;
+  for (Lit l : lits) {
+    const std::uint32_t lev = level_[l.var()];
+    if (lev > 0 && stamp[lev] != stamp_gen) {
+      stamp[lev] = stamp_gen;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::bump_var(std::uint32_t v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) heap_up(static_cast<std::uint32_t>(heap_pos_[v]));
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (ClauseRef cr : learnt_refs_)
+      if (!clauses_[cr].deleted) clauses_[cr].activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+                     std::uint32_t& bt_level, std::uint32_t& lbd) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting literal
+  std::uint32_t counter = 0;
+  Lit p = kLitUndef;
+  std::size_t index = trail_.size();
+
+  do {
+    CSAT_DCHECK(confl != kNoReason);
+    Clause& c = clauses_[confl];
+    if (c.learnt) bump_clause(c);
+    const std::size_t start = (p == kLitUndef) ? 0 : 1;
+    for (std::size_t j = start; j < c.lits.size(); ++j) {
+      const Lit q = c.lits[j];
+      const std::uint32_t v = q.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump_var(v);
+      if (level_[v] >= decision_level())
+        ++counter;
+      else
+        learnt.push_back(q);
+    }
+    // Walk the trail back to the next marked literal of the current level.
+    while (!seen_[trail_[--index].var()]) {
+    }
+    p = trail_[index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = !p;
+
+  // Conflict-clause minimization (recursive, abstraction-guarded).
+  analyze_clear_.assign(learnt.begin() + 1, learnt.end());
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    abstract_levels |= 1u << (level_[learnt[i].var()] & 31);
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const Lit l = learnt[i];
+    if (reason_[l.var()] == kNoReason || !lit_redundant(l, abstract_levels))
+      learnt[out++] = l;
+    else
+      ++stats_.minimized_lits;
+  }
+  learnt.resize(out);
+  for (Lit l : analyze_clear_) seen_[l.var()] = 0;
+  seen_[learnt[0].var()] = 0;
+
+  // Determine backtrack level and place the second watch.
+  if (learnt.size() == 1) {
+    bt_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i)
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+  lbd = compute_lbd(learnt);
+}
+
+bool Solver::lit_redundant(Lit lit, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(lit);
+  const std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    CSAT_DCHECK(reason_[q.var()] != kNoReason);
+    const Clause& c = clauses_[reason_[q.var()]];
+    for (std::size_t j = 1; j < c.lits.size(); ++j) {
+      const Lit l = c.lits[j];
+      const std::uint32_t v = l.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] != kNoReason &&
+          ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
+        seen_[v] = 1;
+        analyze_stack_.push_back(l);
+        analyze_clear_.push_back(l);
+      } else {
+        for (std::size_t k = top; k < analyze_clear_.size(); ++k)
+          seen_[analyze_clear_[k].var()] = 0;
+        analyze_clear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- decision heap ---------------------------------------------------------
+
+void Solver::heap_insert(std::uint32_t v) {
+  heap_pos_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_up(static_cast<std::uint32_t>(heap_.size() - 1));
+}
+
+std::uint32_t Solver::heap_pop() {
+  const std::uint32_t top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_up(std::uint32_t pos) {
+  const std::uint32_t v = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!heap_less(v, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    heap_pos_[heap_[pos]] = static_cast<std::int32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(pos);
+}
+
+void Solver::heap_down(std::uint32_t pos) {
+  const std::uint32_t v = heap_[pos];
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_less(heap_[child + 1], heap_[child])) ++child;
+    if (!heap_less(heap_[child], v)) break;
+    heap_[pos] = heap_[child];
+    heap_pos_[heap_[pos]] = static_cast<std::int32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(pos);
+}
+
+Lit Solver::pick_branch() {
+  // Optional random diversification.
+  if (config_.random_decision_freq > 0.0) {
+    const double r =
+        static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+    if (r < config_.random_decision_freq && !heap_.empty()) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(
+          splitmix64(rng_state_) % heap_.size());
+      const std::uint32_t v = heap_[idx];
+      if (assign_[v] == kUnknown)
+        return Lit::make(v, phase_[v] == kFalse);
+    }
+  }
+  while (!heap_.empty()) {
+    const std::uint32_t v = heap_pop();
+    if (assign_[v] == kUnknown) return Lit::make(v, phase_[v] == kFalse);
+  }
+  return kLitUndef;
+}
+
+// --- restarts & reduction ----------------------------------------------------
+
+void Solver::on_conflict_for_restart(std::uint32_t lbd) {
+  ema_fast_ += config_.ema_fast_alpha * (static_cast<double>(lbd) - ema_fast_);
+  ema_slow_ += config_.ema_slow_alpha * (static_cast<double>(lbd) - ema_slow_);
+}
+
+bool Solver::should_restart() const {
+  const std::uint64_t since = stats_.conflicts - conflicts_at_restart_;
+  if (config_.restarts == SolverConfig::Restarts::kLuby)
+    return since >= luby_budget_;
+  return since >= config_.ema_min_conflicts &&
+         ema_fast_ > config_.ema_margin * ema_slow_;
+}
+
+void Solver::reduce_db() {
+  // Drop stale refs, then delete the worse half of deletable learnt clauses
+  // (high LBD first, low activity as tie-break). Glue, binary and locked
+  // clauses survive.
+  std::vector<ClauseRef> live;
+  live.reserve(learnt_refs_.size());
+  for (ClauseRef cr : learnt_refs_)
+    if (!clauses_[cr].deleted) live.push_back(cr);
+  learnt_refs_ = std::move(live);
+
+  auto locked = [&](ClauseRef cr) {
+    const Clause& c = clauses_[cr];
+    return value(c.lits[0]) == kTrue && reason_[c.lits[0].var()] == cr;
+  };
+  std::vector<ClauseRef> deletable;
+  for (ClauseRef cr : learnt_refs_) {
+    const Clause& c = clauses_[cr];
+    if (c.lbd <= config_.glue_keep || c.lits.size() <= 2 || locked(cr)) continue;
+    deletable.push_back(cr);
+  }
+  std::sort(deletable.begin(), deletable.end(), [&](ClauseRef a, ClauseRef b) {
+    const Clause& ca = clauses_[a];
+    const Clause& cb = clauses_[b];
+    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+    return ca.activity < cb.activity;
+  });
+  const std::size_t to_remove = deletable.size() / 2;
+  for (std::size_t i = 0; i < to_remove; ++i) {
+    detach_clause(deletable[i]);
+    ++stats_.removed;
+  }
+}
+
+// --- main search -------------------------------------------------------------
+
+Status Solver::solve(const Limits& limits) {
+  if (!ok_) return Status::kUnsat;
+  Stopwatch watch;
+
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return Status::kUnsat;
+  }
+
+  conflicts_at_restart_ = stats_.conflicts;
+  luby_index_ = 0;
+  luby_budget_ = luby(++luby_index_) * config_.luby_unit;
+  reduce_budget_ = config_.reduce_first;
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return Status::kUnsat;
+      }
+      std::uint32_t bt_level = 0;
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt, bt_level, lbd);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const ClauseRef cref = attach_clause(learnt, /*learnt=*/true, lbd);
+        enqueue(learnt[0], cref);
+      }
+      decay_var_activity();
+      decay_clause_activity();
+      on_conflict_for_restart(lbd);
+      if (stats_.conflicts >= reduce_budget_) {
+        reduce_db();
+        ++reduce_count_;
+        reduce_budget_ =
+            stats_.conflicts + config_.reduce_first +
+            config_.reduce_increment * reduce_count_;
+      }
+      continue;
+    }
+
+    if (stats_.conflicts >= limits.max_conflicts ||
+        stats_.decisions >= limits.max_decisions ||
+        (limits.max_seconds != std::numeric_limits<double>::infinity() &&
+         watch.seconds() > limits.max_seconds)) {
+      backtrack(0);
+      return Status::kUnknown;
+    }
+
+    if (should_restart()) {
+      ++stats_.restarts;
+      backtrack(0);
+      conflicts_at_restart_ = stats_.conflicts;
+      if (config_.restarts == SolverConfig::Restarts::kLuby)
+        luby_budget_ = luby(++luby_index_) * config_.luby_unit;
+      else
+        ema_fast_ = 0.0;  // forgive the spike that triggered the restart
+      continue;
+    }
+
+    // Assumptions are decided first, in order; a falsified assumption means
+    // UNSAT under the assumption set.
+    Lit next = kLitUndef;
+    while (decision_level() < assumptions_.size()) {
+      const Lit p = assumptions_[decision_level()];
+      if (value(p) == kTrue) {
+        trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      } else if (value(p) == kFalse) {
+        backtrack(0);
+        return Status::kUnsat;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (next == kLitUndef) next = pick_branch();
+    if (next == kLitUndef) {
+      model_.assign(num_vars(), false);
+      for (std::uint32_t v = 0; v < num_vars(); ++v)
+        model_[v] = assign_[v] == kTrue;
+      backtrack(0);
+      return Status::kSat;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    stats_.max_decision_level =
+        std::max<std::uint64_t>(stats_.max_decision_level, decision_level());
+    enqueue(next, kNoReason);
+  }
+}
+
+Status Solver::solve_assuming(std::span<const Lit> assumptions,
+                              const Limits& limits) {
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  for (Lit l : assumptions_) CSAT_CHECK(l.var() < num_vars());
+  const Status result = solve(limits);
+  assumptions_.clear();
+  return result;
+}
+
+SolveResult solve_cnf(const Cnf& formula, const SolverConfig& config,
+                      const Limits& limits) {
+  Solver solver(config);
+  solver.add_formula(formula);
+  SolveResult r;
+  r.status = solver.solve(limits);
+  r.stats = solver.stats();
+  if (r.status == Status::kSat) {
+    r.model = solver.model();
+    CSAT_CHECK_MSG(formula.satisfied_by(r.model), "solver returned invalid model");
+  }
+  return r;
+}
+
+}  // namespace csat::sat

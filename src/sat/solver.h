@@ -1,0 +1,252 @@
+#ifndef CSAT_SAT_SOLVER_H
+#define CSAT_SAT_SOLVER_H
+
+/// \file solver.h
+/// Conflict-Driven Clause Learning SAT solver.
+///
+/// A self-contained CDCL solver in the MiniSat lineage: two-watched-literal
+/// propagation with blocker literals, first-UIP conflict analysis with
+/// recursive clause minimization, EVSIDS decision heuristic with phase
+/// saving, Luby or Glucose-EMA restarts, and LBD/activity-driven learnt
+/// clause database reduction.
+///
+/// Two roles in the framework:
+///  * the *evaluation solver* standing in for Kissat 4.0 / CaDiCaL 2.0
+///    (SolverConfig::kissat_like() / cadical_like() presets — two modern
+///    CDCL configurations for the paper's Fig. 4 panels), and
+///  * the *reward oracle* of the RL loop: stats().decisions is exactly the
+///    "number of variable branching times" of Eq. (3).
+///
+/// Determinism: given the same formula, config and seed, every run produces
+/// identical statistics — required for reproducible experiments.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "cnf/cnf.h"
+
+namespace csat::sat {
+
+using cnf::Cnf;
+using cnf::Lit;
+
+enum class Status { kSat, kUnsat, kUnknown };
+
+struct SolverConfig {
+  enum class Restarts { kLuby, kEma };
+
+  Restarts restarts = Restarts::kLuby;
+  /// Luby: restart after luby(i) * luby_unit conflicts.
+  std::uint32_t luby_unit = 64;
+  /// EMA (Glucose-style): restart when fast LBD average exceeds
+  /// ema_margin * slow average (and at least ema_min_conflicts since last).
+  double ema_fast_alpha = 1.0 / 32.0;
+  double ema_slow_alpha = 1.0 / 16384.0;
+  double ema_margin = 1.25;
+  std::uint32_t ema_min_conflicts = 50;
+
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  bool phase_saving = true;
+  bool default_phase = false;  // initial polarity when no saved phase
+  /// Probability of a random decision (diversification; 0 disables).
+  double random_decision_freq = 0.0;
+
+  /// Learnt-DB reduction: first reduction after reduce_first conflicts,
+  /// subsequent intervals grow by reduce_increment.
+  std::uint64_t reduce_first = 2000;
+  std::uint64_t reduce_increment = 300;
+  /// Learnt clauses with LBD <= glue_keep are never deleted.
+  std::uint32_t glue_keep = 2;
+
+  std::uint64_t seed = 91648253;
+
+  /// Stand-in for Kissat 4.0: aggressive EMA restarts, fast variable decay.
+  static SolverConfig kissat_like() {
+    SolverConfig c;
+    c.restarts = Restarts::kEma;
+    c.var_decay = 0.95;
+    c.reduce_first = 2000;
+    return c;
+  }
+
+  /// Stand-in for CaDiCaL 2.0: Luby restarts, slower decay, larger DB.
+  static SolverConfig cadical_like() {
+    SolverConfig c;
+    c.restarts = Restarts::kLuby;
+    c.luby_unit = 100;
+    c.var_decay = 0.99;
+    c.reduce_first = 4000;
+    c.reduce_increment = 600;
+    return c;
+  }
+};
+
+struct Stats {
+  std::uint64_t decisions = 0;   ///< "branching times" — the paper's complexity proxy
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t minimized_lits = 0;
+  std::uint64_t max_decision_level = 0;
+};
+
+struct Limits {
+  std::uint64_t max_conflicts = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_decisions = std::numeric_limits<std::uint64_t>::max();
+  double max_seconds = std::numeric_limits<double>::infinity();
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverConfig config = {});
+
+  /// Adds all clauses (and variables) of \p formula.
+  void add_formula(const Cnf& formula);
+
+  std::uint32_t new_var();
+  [[nodiscard]] std::uint32_t num_vars() const {
+    return static_cast<std::uint32_t>(assign_.size());
+  }
+
+  /// Adds a clause; returns false when the formula became trivially
+  /// unsatisfiable (empty clause / conflicting units at level 0).
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Runs CDCL search until a verdict or a budget limit.
+  Status solve(const Limits& limits = {});
+
+  /// Solves under temporary assumptions (decided, in order, before any free
+  /// decision). kUnsat means unsatisfiable *under the assumptions*; the
+  /// clause database and learned facts persist, enabling incremental use
+  /// (e.g. one fault-site assumption set per ATPG query).
+  Status solve_assuming(std::span<const Lit> assumptions,
+                        const Limits& limits = {});
+
+  /// Complete model (indexed by variable) — valid after Status::kSat.
+  [[nodiscard]] const std::vector<bool>& model() const { return model_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const SolverConfig& config() const { return config_; }
+
+ private:
+  enum : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = std::numeric_limits<ClauseRef>::max();
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    std::uint32_t lbd = 0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  // --- assignment & propagation ---
+  [[nodiscard]] std::uint8_t value(Lit l) const {
+    const std::uint8_t v = assign_[l.var()];
+    return v == kUnknown ? kUnknown : (v ^ static_cast<std::uint8_t>(l.sign()));
+  }
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void backtrack(std::uint32_t level);
+  [[nodiscard]] std::uint32_t decision_level() const {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+
+  // --- conflict analysis ---
+  void analyze(ClauseRef confl, std::vector<Lit>& learnt, std::uint32_t& bt_level,
+               std::uint32_t& lbd);
+  [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  [[nodiscard]] std::uint32_t compute_lbd(std::span<const Lit> lits);
+
+  // --- decisions ---
+  Lit pick_branch();
+  void bump_var(std::uint32_t v);
+  void decay_var_activity() { var_inc_ /= config_.var_decay; }
+  void heap_insert(std::uint32_t v);
+  std::uint32_t heap_pop();
+  void heap_up(std::uint32_t pos);
+  void heap_down(std::uint32_t pos);
+  [[nodiscard]] bool heap_less(std::uint32_t a, std::uint32_t b) const {
+    return activity_[a] > activity_[b];
+  }
+
+  // --- clause DB ---
+  ClauseRef attach_clause(std::vector<Lit> lits, bool learnt, std::uint32_t lbd);
+  void detach_clause(ClauseRef cref);
+  void bump_clause(Clause& c);
+  void decay_clause_activity() { clause_inc_ /= config_.clause_decay; }
+  void reduce_db();
+
+  // --- restarts ---
+  [[nodiscard]] bool should_restart() const;
+  void on_conflict_for_restart(std::uint32_t lbd);
+
+  SolverConfig config_;
+  Stats stats_;
+  bool ok_ = true;
+
+  std::vector<Clause> clauses_;              // all clauses, index = ClauseRef
+  std::vector<ClauseRef> learnt_refs_;       // learnt subset for reduction
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit.x
+
+  std::vector<std::uint8_t> assign_;   // per var
+  std::vector<std::uint8_t> phase_;    // saved polarity per var
+  std::vector<std::uint32_t> level_;   // per var
+  std::vector<ClauseRef> reason_;      // per var
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<std::uint32_t> heap_;      // binary max-heap of vars
+  std::vector<std::int32_t> heap_pos_;   // -1 when absent
+
+  // scratch for analyze()
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+
+  // restart state
+  std::uint64_t conflicts_at_restart_ = 0;
+  std::uint64_t luby_index_ = 0;
+  std::uint64_t luby_budget_ = 0;
+  double ema_fast_ = 0.0;
+  double ema_slow_ = 0.0;
+
+  // reduction state
+  std::uint64_t reduce_budget_ = 0;
+  std::uint64_t reduce_count_ = 0;
+
+  std::uint64_t rng_state_;
+  std::vector<bool> model_;
+  std::vector<Lit> assumptions_;
+};
+
+/// One-shot convenience: solve \p formula under \p config and \p limits.
+struct SolveResult {
+  Status status = Status::kUnknown;
+  Stats stats;
+  std::vector<bool> model;
+};
+SolveResult solve_cnf(const Cnf& formula, const SolverConfig& config = {},
+                      const Limits& limits = {});
+
+}  // namespace csat::sat
+
+#endif  // CSAT_SAT_SOLVER_H

@@ -1,0 +1,82 @@
+#include "synth/balance.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace csat::synth {
+
+namespace {
+
+class Balancer {
+ public:
+  explicit Balancer(const aig::Aig& src)
+      : src_(src), map_(src.num_nodes(), aig::kFalse), done_(src.num_nodes(), 0) {
+    done_[0] = 1;
+    for (std::uint32_t pi : src.pis()) {
+      map_[pi] = dst_.add_pi();
+      done_[pi] = 1;
+    }
+  }
+
+  aig::Aig run() {
+    for (aig::Lit po : src_.pos()) dst_.add_po(build(po));
+    return std::move(dst_);
+  }
+
+ private:
+  /// Gathers the operand frontier of the maximal AND tree rooted at \p l:
+  /// recursion continues through positive edges into single-fanout AND
+  /// nodes (shared or complemented children become operands).
+  void collect_operands(aig::Lit l, std::vector<aig::Lit>& ops) {
+    const std::uint32_t n = l.node();
+    if (!l.is_compl() && src_.is_and(n) && src_.fanout_count(n) == 1) {
+      collect_operands(src_.fanin0(n), ops);
+      collect_operands(src_.fanin1(n), ops);
+      return;
+    }
+    ops.push_back(l);
+  }
+
+  aig::Lit build(aig::Lit old) {
+    const std::uint32_t n = old.node();
+    if (!done_[n]) {
+      std::vector<aig::Lit> ops;
+      collect_operands(src_.fanin0(n), ops);
+      collect_operands(src_.fanin1(n), ops);
+
+      // Map operands into the destination, then combine shallowest-first.
+      using Entry = std::pair<int, aig::Lit>;  // (level in dst, lit)
+      auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+      std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> pq(cmp);
+      for (aig::Lit op : ops) {
+        const aig::Lit m = build(op);
+        pq.push({dst_.level(m.node()), m});
+      }
+      while (pq.size() > 1) {
+        const aig::Lit a = pq.top().second;
+        pq.pop();
+        const aig::Lit b = pq.top().second;
+        pq.pop();
+        const aig::Lit ab = dst_.and2(a, b);
+        pq.push({dst_.level(ab.node()), ab});
+      }
+      map_[n] = pq.top().second;
+      done_[n] = 1;
+    }
+    return map_[n] ^ old.is_compl();
+  }
+
+  const aig::Aig& src_;
+  aig::Aig dst_;
+  std::vector<aig::Lit> map_;
+  std::vector<char> done_;
+};
+
+}  // namespace
+
+aig::Aig balance(const aig::Aig& g) { return Balancer(g).run(); }
+
+}  // namespace csat::synth

@@ -1,0 +1,22 @@
+#ifndef CSAT_SYNTH_BALANCE_H
+#define CSAT_SYNTH_BALANCE_H
+
+/// \file balance.h
+/// AND-tree balancing (the paper's `balance` action; ABC's `balance`).
+///
+/// Maximal single-fanout AND trees are collapsed into multi-input
+/// conjunctions and rebuilt as level-minimal trees by repeatedly pairing the
+/// two shallowest operands (Huffman-style). The pass targets depth — the
+/// paper's RL agent learns to fire it when the average balance ratio
+/// (Eq. 1) is high.
+
+#include "aig/aig.h"
+
+namespace csat::synth {
+
+/// Depth-oriented rebuild; the function of every PO is preserved.
+aig::Aig balance(const aig::Aig& g);
+
+}  // namespace csat::synth
+
+#endif  // CSAT_SYNTH_BALANCE_H

@@ -1,0 +1,99 @@
+#ifndef CSAT_SYNTH_FACTOR_H
+#define CSAT_SYNTH_FACTOR_H
+
+/// \file factor.h
+/// Algebraic factoring of cube covers into AND/OR structures ("quick
+/// factor"). This is the structure generator used by `refactor` (Brayton's
+/// decomposition/factorization applied to the ISOP of a collapsed cone) and
+/// by the generic resynthesizer behind `rewrite`.
+///
+/// The recursion: pick the literal occurring in the most cubes; divide the
+/// cover into quotient (cubes containing it, literal removed) and remainder;
+/// emit  L * QF(quotient) + QF(remainder). When no literal repeats, the
+/// cover degenerates to a disjunction of explicit cubes.
+
+#include <span>
+#include <vector>
+
+#include "aig/aig.h"
+#include "synth/builder.h"
+#include "tt/isop.h"
+
+namespace csat::synth {
+
+namespace detail {
+
+template <typename Builder>
+aig::Lit build_or(Builder& b, aig::Lit x, aig::Lit y) {
+  return !b.and2(!x, !y);
+}
+
+template <typename Builder>
+aig::Lit build_cube(Builder& b, const tt::Cube& cube,
+                    std::span<const aig::Lit> leaves) {
+  aig::Lit r = aig::kTrue;
+  for (int v = 0; v < static_cast<int>(leaves.size()); ++v) {
+    if (!cube.has_var(v)) continue;
+    r = b.and2(r, leaves[v] ^ !cube.is_positive(v));
+  }
+  return r;
+}
+
+}  // namespace detail
+
+/// Builds an AIG literal computing the disjunction of \p cubes over
+/// \p leaves (leaf i realises variable i). Empty cover yields constant
+/// FALSE; a tautology cube yields constant TRUE.
+template <typename Builder>
+aig::Lit factor_sop(Builder& b, std::vector<tt::Cube> cubes,
+                    std::span<const aig::Lit> leaves) {
+  CSAT_CHECK(leaves.size() <= 32);
+  if (cubes.empty()) return aig::kFalse;
+  for (const tt::Cube& c : cubes)
+    if (c.mask == 0) return aig::kTrue;  // tautology cube absorbs everything
+  if (cubes.size() == 1) return detail::build_cube(b, cubes[0], leaves);
+
+  // Most frequent literal over the cover.
+  int count[64] = {};
+  for (const tt::Cube& c : cubes) {
+    for (int v = 0; v < static_cast<int>(leaves.size()); ++v) {
+      if (!c.has_var(v)) continue;
+      ++count[2 * v + (c.is_positive(v) ? 1 : 0)];
+    }
+  }
+  int best_slot = 0;
+  for (int s = 1; s < 64; ++s)
+    if (count[s] > count[best_slot]) best_slot = s;
+
+  if (count[best_slot] < 2) {
+    // No algebraic divisor: plain disjunction of the cubes.
+    aig::Lit r = aig::kFalse;
+    for (const tt::Cube& c : cubes)
+      r = detail::build_or(b, r, detail::build_cube(b, c, leaves));
+    return r;
+  }
+
+  const int var = best_slot / 2;
+  const bool positive = (best_slot & 1) != 0;
+  std::vector<tt::Cube> quotient;
+  std::vector<tt::Cube> remainder;
+  for (const tt::Cube& c : cubes) {
+    if (c.has_var(var) && c.is_positive(var) == positive) {
+      tt::Cube q = c;
+      q.mask &= ~(1u << var);
+      q.pol &= ~(1u << var);
+      quotient.push_back(q);
+    } else {
+      remainder.push_back(c);
+    }
+  }
+  const aig::Lit q = factor_sop(b, std::move(quotient), leaves);
+  const aig::Lit divided = b.and2(leaves[var] ^ !positive, q);
+  if (remainder.empty()) return divided;
+  const aig::Lit r = factor_sop(b, std::move(remainder), leaves);
+  return detail::build_or(b, divided, r);
+}
+
+}  // namespace csat::synth
+
+#endif  // CSAT_SYNTH_FACTOR_H

@@ -1,0 +1,40 @@
+#include "synth/refactor.h"
+
+#include <algorithm>
+
+#include "aig/simulate.h"
+#include "aig/window.h"
+#include "synth/replace.h"
+
+namespace csat::synth {
+
+aig::Aig refactor(const aig::Aig& g, const RefactorParams& params) {
+  CSAT_CHECK(params.max_leaves >= 2 &&
+             params.max_leaves <= tt::TruthTable::kMaxVars);
+
+  std::unordered_map<std::uint32_t, Replacement> accepted;
+  for (std::uint32_t n : g.live_ands()) {
+    auto leaves = aig::reconv_cut(g, n, params.max_leaves);
+    std::sort(leaves.begin(), leaves.end());
+    const int freed = mffc_size_bounded(g, n, leaves);
+    if (freed < params.min_mffc) continue;
+
+    const tt::TruthTable func =
+        aig::cone_tt(g, aig::Lit::make(n, false), leaves);
+    const int added = count_new_nodes(g, func, leaves);
+    const int gain = freed - added;
+    if (gain > 0 || (params.allow_zero_gain && gain == 0)) {
+      Replacement r;
+      r.leaves = std::move(leaves);
+      r.func = func;
+      accepted.emplace(n, std::move(r));
+    }
+  }
+  if (accepted.empty()) return cleanup_copy(g);
+
+  aig::Aig out = apply_replacements(g, accepted);
+  if (out.num_ands() > g.num_live_ands()) return cleanup_copy(g);
+  return out;
+}
+
+}  // namespace csat::synth

@@ -1,0 +1,47 @@
+#ifndef CSAT_SYNTH_RESYN_H
+#define CSAT_SYNTH_RESYN_H
+
+/// \file resyn.h
+/// Resynthesis of a small Boolean function into an AIG structure.
+///
+/// Given a truth table over k leaves, builds the cheaper of the two
+/// ISOP-factored forms (onset cover, or complemented offset cover). The
+/// phase choice is made from the covers alone (cube + literal counts), so a
+/// dry-run CountingBuilder and the later real instantiation deterministically
+/// produce the same structure — a prerequisite for trustworthy gain
+/// estimates in rewriting.
+
+#include <span>
+
+#include "synth/factor.h"
+#include "tt/isop.h"
+#include "tt/truth_table.h"
+
+namespace csat::synth {
+
+/// Literal-count weight of a cover (cubes + literals), the classic SOP
+/// complexity proxy used to pick the implementation phase.
+inline int cover_weight(const std::vector<tt::Cube>& cubes) {
+  int w = static_cast<int>(cubes.size());
+  for (const tt::Cube& c : cubes) w += c.num_lits();
+  return w;
+}
+
+/// Builds \p f over \p leaves in the builder; returns the output literal.
+template <typename Builder>
+aig::Lit synth_func(Builder& b, const tt::TruthTable& f,
+                    std::span<const aig::Lit> leaves) {
+  CSAT_CHECK(static_cast<int>(leaves.size()) == f.num_vars());
+  if (f.is_const0()) return aig::kFalse;
+  if (f.is_const1()) return aig::kTrue;
+
+  auto on = tt::isop(f);
+  auto off = tt::isop(~f);
+  if (cover_weight(on) <= cover_weight(off))
+    return factor_sop(b, std::move(on), leaves);
+  return !factor_sop(b, std::move(off), leaves);
+}
+
+}  // namespace csat::synth
+
+#endif  // CSAT_SYNTH_RESYN_H

@@ -1,0 +1,224 @@
+// Tests for the AIG package: structural hashing invariants, derived
+// connectives, cleanup, MFFC, windowing, simulation, cone truth tables and
+// AIGER round-trips (including malformed-input rejection).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig.h"
+#include "aig/aiger_io.h"
+#include "aig/simulate.h"
+#include "aig/window.h"
+#include "common/rng.h"
+
+namespace csat::aig {
+namespace {
+
+/// Random strashed AIG with the given shape (used by several suites).
+Aig random_aig(int num_pis, int num_ands, std::uint64_t seed, int num_pos = 1) {
+  Rng rng(seed);
+  Aig g;
+  std::vector<Lit> pool;
+  for (int i = 0; i < num_pis; ++i) pool.push_back(g.add_pi());
+  for (int i = 0; i < num_ands; ++i) {
+    Lit a = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+    Lit b = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+    pool.push_back(g.and2(a, b));
+  }
+  for (int i = 0; i < num_pos; ++i)
+    g.add_po(pool[pool.size() - 1 - rng.next_below(pool.size() / 2 + 1)] ^
+             rng.next_bool());
+  return g;
+}
+
+TEST(Aig, ConstantFoldingRules) {
+  Aig g;
+  const Lit a = g.add_pi();
+  EXPECT_EQ(g.and2(a, kFalse), kFalse);
+  EXPECT_EQ(g.and2(kTrue, a), a);
+  EXPECT_EQ(g.and2(a, a), a);
+  EXPECT_EQ(g.and2(a, !a), kFalse);
+  EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashingMergesDuplicates) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.and2(a, b);
+  EXPECT_EQ(g.and2(b, a), x);   // commuted
+  EXPECT_EQ(g.and2(a, b), x);   // repeated
+  EXPECT_EQ(g.num_ands(), 1u);
+  EXPECT_NE(g.and2(!a, b), x);  // different phase is a different node
+}
+
+TEST(Aig, DerivedGatesComputeCorrectFunctions) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit s = g.add_pi();
+  g.add_po(g.xor2(a, b));
+  g.add_po(g.or2(a, b));
+  g.add_po(g.mux(s, a, b));
+  g.add_po(g.xnor2(a, b));
+  for (int m = 0; m < 8; ++m) {
+    const bool va = m & 1, vb = m & 2, vs = m & 4;
+    const std::vector<bool> in{va, vb, vs};
+    const auto out = evaluate(g, in);
+    EXPECT_EQ(out[0], va != vb);
+    EXPECT_EQ(out[1], va || vb);
+    EXPECT_EQ(out[2], vs ? va : vb);
+    EXPECT_EQ(out[3], va == vb);
+  }
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit ab = g.and2(a, b);
+  const Lit abc = g.and2(ab, c);
+  g.add_po(abc);
+  EXPECT_EQ(g.level(ab.node()), 1);
+  EXPECT_EQ(g.level(abc.node()), 2);
+  EXPECT_EQ(g.depth(), 2);
+}
+
+TEST(Aig, CleanupDropsDeadLogicKeepsFunction) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit keep = g.and2(a, b);
+  (void)g.and2(!a, b);  // dead
+  (void)g.and2(!a, !b); // dead
+  g.add_po(keep);
+  const Aig h = cleanup_copy(g);
+  EXPECT_EQ(h.num_ands(), 1u);
+  EXPECT_EQ(h.num_pis(), 2u);
+  EXPECT_TRUE(equal_by_simulation(g, h));
+}
+
+TEST(Aig, MffcOfChainIsWholeChain) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.and2(a, b);
+  const Lit y = g.and2(x, c);
+  g.add_po(y);
+  EXPECT_EQ(g.mffc_size(y.node()), 2);
+  EXPECT_EQ(g.mffc_size(x.node()), 1);
+}
+
+TEST(Aig, MffcStopsAtSharedNodes) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.and2(a, b);      // shared
+  const Lit y = g.and2(x, c);
+  const Lit z = g.and2(x, !c);
+  g.add_po(y);
+  g.add_po(z);
+  EXPECT_EQ(g.mffc_size(y.node()), 1);  // x survives via z
+  const auto mffc = mffc_nodes(g, y.node());
+  EXPECT_EQ(mffc.size(), 1u);
+  EXPECT_EQ(mffc[0], y.node());
+}
+
+TEST(Window, ReconvCutIsACut) {
+  const Aig g = random_aig(8, 120, 42);
+  for (std::uint32_t n : g.live_ands()) {
+    const auto leaves = reconv_cut(g, n, 8);
+    EXPECT_LE(leaves.size(), 8u);
+    // collect_cone CSAT_CHECKs that the leaves form a cut.
+    const auto cone = collect_cone(g, n, leaves);
+    EXPECT_FALSE(cone.empty());
+    EXPECT_EQ(cone.back(), n);
+  }
+}
+
+TEST(Window, DivisorsExcludeMffcAndStayBelowRoot) {
+  const Aig g = random_aig(6, 80, 7);
+  const FanoutIndex fanouts(g);
+  for (std::uint32_t n : g.live_ands()) {
+    const auto leaves = reconv_cut(g, n, 6);
+    const auto mffc = mffc_nodes(g, n);
+    const auto divs = collect_divisors(g, n, leaves, fanouts, 50);
+    for (std::uint32_t d : divs) {
+      EXPECT_EQ(std::count(mffc.begin(), mffc.end(), d), 0);
+      if (g.is_and(d)) { EXPECT_LT(g.level(d), g.level(n)); }
+    }
+  }
+}
+
+TEST(Simulate, ConeTtMatchesEvaluation) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit f = g.or2(g.and2(a, b), g.and2(!b, c));
+  g.add_po(f);
+  const std::vector<std::uint32_t> leaves{a.node(), b.node(), c.node()};
+  const auto t = cone_tt(g, f, leaves);
+  for (int m = 0; m < 8; ++m) {
+    const std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    EXPECT_EQ(t.get_bit(m), evaluate(g, in)[0]) << m;
+  }
+}
+
+TEST(Simulate, EqualBySimulationDetectsDifference) {
+  Aig g1, g2;
+  {
+    const Lit a = g1.add_pi();
+    const Lit b = g1.add_pi();
+    g1.add_po(g1.and2(a, b));
+  }
+  {
+    const Lit a = g2.add_pi();
+    const Lit b = g2.add_pi();
+    g2.add_po(g2.or2(a, b));
+  }
+  EXPECT_FALSE(equal_by_simulation(g1, g2));
+}
+
+class AigerRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AigerRoundTrip, AsciiAndBinaryPreserveFunction) {
+  const Aig g = random_aig(6 + GetParam() % 5, 40 + 17 * GetParam(),
+                           900 + GetParam(), 3);
+  for (const bool binary : {false, true}) {
+    std::stringstream ss;
+    if (binary)
+      write_aiger_binary(g, ss);
+    else
+      write_aiger_ascii(g, ss);
+    const Aig h = read_aiger(ss);
+    EXPECT_EQ(h.num_pis(), g.num_pis());
+    EXPECT_EQ(h.num_pos(), g.num_pos());
+    EXPECT_TRUE(equal_by_simulation(g, h)) << (binary ? "binary" : "ascii");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AigerRoundTrip, ::testing::Range(0, 8));
+
+TEST(AigerErrors, RejectsMalformedInputs) {
+  const auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_aiger(ss);
+  };
+  EXPECT_THROW(parse("not_aiger 1 2 3"), AigerError);
+  EXPECT_THROW(parse("aag 1 1 1 1 0\n2\n"), AigerError);       // latches
+  EXPECT_THROW(parse("aag 1 0 0 0 5\n"), AigerError);          // bad counts
+  EXPECT_THROW(parse("aag 3 1 0 1 1\n2\n6\n6 8 2\n"), AigerError);  // fwd ref
+  EXPECT_THROW(parse("aig 2 1 0 1 1\n6\n"), AigerError);       // truncated binary
+}
+
+TEST(AigerErrors, MissingFileThrows) {
+  EXPECT_THROW(read_aiger_file("/nonexistent/x.aig"), AigerError);
+}
+
+}  // namespace
+}  // namespace csat::aig

@@ -1,0 +1,111 @@
+// Tests for the neural-network substrate: shapes, determinism, gradient
+// correctness (via learning tasks), target-network copying and
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+
+namespace csat::nn {
+namespace {
+
+MlpConfig small_config() {
+  MlpConfig c;
+  c.layers = {3, 16, 4};
+  c.learning_rate = 5e-3;
+  c.seed = 11;
+  return c;
+}
+
+TEST(Mlp, ForwardShapeAndDeterminism) {
+  const Mlp a(small_config());
+  const Mlp b(small_config());
+  const std::vector<double> x{0.2, -0.4, 0.9};
+  const auto ya = a.forward(x);
+  const auto yb = b.forward(x);
+  ASSERT_EQ(ya.size(), 4u);
+  EXPECT_EQ(ya, yb);  // same seed, same init, same output
+}
+
+TEST(Mlp, DifferentSeedsDiffer) {
+  MlpConfig c1 = small_config();
+  MlpConfig c2 = small_config();
+  c2.seed = 12;
+  const Mlp a(c1), b(c2);
+  EXPECT_NE(a.forward({1.0, 1.0, 1.0}), b.forward({1.0, 1.0, 1.0}));
+}
+
+TEST(Mlp, LearnsMaskedRegression) {
+  // Target: out[a] should learn f_a(x) = (a + 1) * x0 on random inputs.
+  Mlp net(small_config());
+  Rng rng(5);
+  double first_loss = -1.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 2000; ++step) {
+    std::vector<std::vector<double>> xs;
+    std::vector<int> as;
+    std::vector<double> ys;
+    for (int i = 0; i < 16; ++i) {
+      const double x0 = rng.next_double() * 2.0 - 1.0;
+      const int a = static_cast<int>(rng.next_below(4));
+      xs.push_back({x0, 0.5, -0.5});
+      as.push_back(a);
+      ys.push_back((a + 1) * x0);
+    }
+    const double loss = net.train_batch(xs, as, ys);
+    if (first_loss < 0.0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.05);
+  // Spot-check the learned function.
+  const auto q = net.forward({0.5, 0.5, -0.5});
+  EXPECT_NEAR(q[0], 0.5, 0.25);
+  EXPECT_NEAR(q[3], 2.0, 0.5);
+}
+
+TEST(Mlp, CopyWeightsMakesNetworksAgree) {
+  MlpConfig c2 = small_config();
+  c2.seed = 99;
+  Mlp a(small_config());
+  Mlp b(c2);
+  const std::vector<double> x{0.1, 0.2, 0.3};
+  ASSERT_NE(a.forward(x), b.forward(x));
+  b.copy_weights_from(a);
+  EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Mlp a(small_config());
+  // Perturb weights by training a bit so the save is non-trivial.
+  a.train_batch({{1, 0, 0}, {0, 1, 0}}, {0, 1}, {1.0, -1.0});
+  std::stringstream ss;
+  a.save(ss);
+  Mlp b(small_config());
+  b.load(ss);
+  const std::vector<double> x{0.3, -0.7, 0.2};
+  const auto ya = a.forward(x);
+  const auto yb = b.forward(x);
+  ASSERT_EQ(ya.size(), yb.size());
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_NEAR(ya[i], yb[i], 1e-12);
+}
+
+TEST(Mlp, ReluGatesNegativePreactivations) {
+  // A single hidden unit with a strongly negative input should contribute
+  // nothing; verified indirectly: zero input -> output equals bias path
+  // regardless of input weights after ReLU kills activations.
+  MlpConfig c;
+  c.layers = {1, 8, 1};
+  c.seed = 3;
+  const Mlp net(c);
+  const auto y0 = net.forward({0.0});
+  ASSERT_EQ(y0.size(), 1u);
+  // Output at zero input is finite and deterministic.
+  EXPECT_TRUE(std::isfinite(y0[0]));
+}
+
+}  // namespace
+}  // namespace csat::nn

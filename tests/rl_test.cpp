@@ -1,0 +1,226 @@
+// Tests for the RL stack: paper state features (Eq. 1-2), the embedding
+// substitute, MDP environment mechanics and reward semantics (Eq. 3),
+// replay buffer, DQN learning on a crafted bandit, and the policies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/arith.h"
+#include "gen/suite.h"
+#include "rl/dqn.h"
+#include "rl/embedding.h"
+#include "rl/env.h"
+#include "rl/features.h"
+#include "rl/policy.h"
+#include "rl/replay.h"
+#include "rl/trainer.h"
+
+namespace csat::rl {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+TEST(Features, BalanceRatioOfChainVsTree) {
+  // Linear AND chain: every node joins a depth-d subtree with a PI
+  // (depth 0) -> highly imbalanced, ratio near 1.
+  Aig chain;
+  Lit acc = chain.add_pi();
+  for (int i = 0; i < 8; ++i) acc = chain.and2(acc, chain.add_pi());
+  chain.add_po(acc);
+  // Balanced tree of 8 PIs -> every AND joins equal-depth operands.
+  Aig tree;
+  std::vector<Lit> layer;
+  for (int i = 0; i < 8; ++i) layer.push_back(tree.add_pi());
+  while (layer.size() > 1) {
+    std::vector<Lit> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(tree.and2(layer[i], layer[i + 1]));
+    layer = std::move(next);
+  }
+  tree.add_po(layer[0]);
+
+  EXPECT_NEAR(average_balance_ratio(tree), 0.0, 1e-9);
+  EXPECT_GT(average_balance_ratio(chain), 0.5);
+}
+
+TEST(Features, RatiosAreOneForIdenticalNetworks) {
+  Aig g;
+  const auto a = gen::input_word(g, 4);
+  const auto b = gen::input_word(g, 4);
+  for (Lit l : gen::ripple_carry_add(g, a, b, aig::kFalse, true)) g.add_po(l);
+  const auto f = extract_features(g, g);
+  ASSERT_EQ(f.size(), static_cast<std::size_t>(kNumStateFeatures));
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+  EXPECT_NEAR(f[3] + f[4], 1.0, 1e-12);  // AND + NOT proportions partition
+}
+
+TEST(Embedding, DeterministicAndDiscriminative) {
+  Aig g1;
+  {
+    const auto a = gen::input_word(g1, 6);
+    g1.add_po(gen::parity(g1, a));
+  }
+  Aig g2;
+  {
+    const auto a = gen::input_word(g2, 3);
+    const auto b = gen::input_word(g2, 3);
+    for (Lit l : gen::array_multiply(g2, a, b)) g2.add_po(l);
+  }
+  const auto e1 = functional_embedding(g1);
+  const auto e1b = functional_embedding(g1);
+  const auto e2 = functional_embedding(g2);
+  ASSERT_EQ(e1.size(), static_cast<std::size_t>(kEmbeddingDim));
+  EXPECT_EQ(e1, e1b);
+  EXPECT_NE(e1, e2);
+  // Parity output under random patterns is unbiased: density near 0.5.
+  EXPECT_NEAR(e1[12], 0.5, 0.1);
+}
+
+TEST(Replay, RingBufferWrapsAround)
+{
+  ReplayBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    Transition t;
+    t.reward = i;
+    buf.push(std::move(t));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  Rng rng(1);
+  for (const Transition* t : buf.sample(16, rng))
+    EXPECT_GE(t->reward, 6.0);  // only the last four survive
+}
+
+TEST(Env, EpisodeMechanics) {
+  EnvConfig cfg;
+  cfg.max_steps = 3;
+  cfg.solve_limits.max_conflicts = 10000;
+  SynthEnv env(cfg);
+
+  Aig g;
+  const auto a = gen::input_word(g, 3);
+  const auto b = gen::input_word(g, 3);
+  for (Lit l : gen::array_multiply(g, a, b)) g.add_po(l);
+  // Make it a CSAT instance with one PO.
+  Aig inst;
+  {
+    const auto x = gen::input_word(inst, 3);
+    const auto y = gen::input_word(inst, 3);
+    const auto p = gen::array_multiply(inst, x, y);
+    inst.add_po(inst.and2(p[2], !p[4]));
+  }
+
+  auto s = env.reset(inst);
+  EXPECT_EQ(static_cast<int>(s.size()), env.state_size());
+  auto r1 = env.step(synth::SynthOp::kRewrite);
+  EXPECT_FALSE(r1.done);
+  EXPECT_DOUBLE_EQ(r1.reward, 0.0);  // Eq. 3: zero before terminal
+  auto r2 = env.step(synth::SynthOp::kBalance);
+  EXPECT_FALSE(r2.done);
+  auto r3 = env.step(synth::SynthOp::kResub);
+  EXPECT_TRUE(r3.done);  // step cap T = 3
+  EXPECT_EQ(env.step_count(), 3);
+}
+
+TEST(Env, EndActionTerminatesImmediately) {
+  EnvConfig cfg;
+  cfg.solve_limits.max_conflicts = 10000;
+  SynthEnv env(cfg);
+  Aig inst;
+  const auto x = gen::input_word(inst, 4);
+  const auto y = gen::input_word(inst, 4);
+  const auto s = gen::ripple_carry_add(inst, x, y);
+  inst.add_po(inst.and2(s[0], s[3]));
+  env.reset(inst);
+  const auto r = env.step(synth::SynthOp::kEnd);
+  EXPECT_TRUE(r.done);
+  EXPECT_EQ(env.step_count(), 0);
+  // Terminal reward is defined (baseline and final decisions measured).
+  EXPECT_GE(env.baseline_decisions(), 0u);
+}
+
+TEST(Dqn, LearnsABanditPreference) {
+  // Single-state bandit: action 2 yields reward 1, the rest 0. After
+  // training, the greedy policy must pick action 2 — this exercises the
+  // full forward/backward/Adam/target-sync path.
+  DqnConfig cfg;
+  cfg.state_size = 4;
+  cfg.hidden = {16};
+  cfg.learning_rate = 5e-3;
+  cfg.batch_size = 8;
+  cfg.epsilon_decay_steps = 1;
+  cfg.epsilon_end = 0.0;
+  DqnAgent agent(cfg);
+  const std::vector<double> s{1.0, 0.0, 0.0, 1.0};
+  for (int a = 0; a < synth::kNumSynthActions; ++a) {
+    for (int i = 0; i < 20; ++i) {
+      Transition t;
+      t.state = s;
+      t.action = a;
+      t.reward = a == 2 ? 1.0 : 0.0;
+      t.next_state = s;
+      t.done = true;
+      agent.remember(std::move(t));
+    }
+  }
+  for (int step = 0; step < 500; ++step) agent.train_step();
+  EXPECT_EQ(agent.act_greedy(s), static_cast<synth::SynthOp>(2));
+  const auto q = agent.q_values(s);
+  EXPECT_NEAR(q[2], 1.0, 0.2);
+  EXPECT_LT(q[0], 0.5);
+}
+
+TEST(Dqn, EpsilonDecays) {
+  DqnConfig cfg;
+  cfg.state_size = 2;
+  cfg.hidden = {4};
+  cfg.epsilon_decay_steps = 10;
+  DqnAgent agent(cfg);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 1.0);
+  const std::vector<double> s{0.0, 0.0};
+  for (int i = 0; i < 20; ++i) (void)agent.act(s);
+  EXPECT_NEAR(agent.epsilon(), cfg.epsilon_end, 1e-9);
+}
+
+TEST(Policy, FixedRecipeAndRandom) {
+  FixedRecipePolicy fixed({synth::SynthOp::kBalance, synth::SynthOp::kRewrite});
+  fixed.begin();
+  const std::vector<double> s;
+  EXPECT_EQ(fixed.next_op(s), synth::SynthOp::kBalance);
+  EXPECT_EQ(fixed.next_op(s), synth::SynthOp::kRewrite);
+  EXPECT_EQ(fixed.next_op(s), synth::SynthOp::kEnd);
+  fixed.begin();  // restart
+  EXPECT_EQ(fixed.next_op(s), synth::SynthOp::kBalance);
+
+  RandomPolicy random(42);
+  for (int i = 0; i < 50; ++i) {
+    const auto op = random.next_op(s);
+    EXPECT_NE(op, synth::SynthOp::kEnd);
+    EXPECT_LT(static_cast<int>(op), synth::kNumSynthActions);
+  }
+}
+
+TEST(Trainer, SmokeRunProducesLogs) {
+  const auto dataset = gen::make_training_suite(3, 77);
+  DqnConfig dcfg;
+  dcfg.state_size = kNumStateFeatures + kEmbeddingDim;
+  dcfg.hidden = {16};
+  dcfg.batch_size = 4;
+  DqnAgent agent(dcfg);
+  TrainConfig tcfg;
+  tcfg.episodes = 4;
+  tcfg.env.max_steps = 2;
+  tcfg.env.solve_limits.max_conflicts = 5000;
+  const auto report = train_agent(agent, dataset, tcfg);
+  ASSERT_EQ(report.episodes.size(), 4u);
+  for (const auto& ep : report.episodes) {
+    EXPECT_LE(ep.steps, 2);
+    EXPECT_TRUE(std::isfinite(ep.reward));
+  }
+}
+
+}  // namespace
+}  // namespace csat::rl

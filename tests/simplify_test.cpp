@@ -1,0 +1,234 @@
+// Tests for the CNF preprocessing layer (unit propagation, pure literals,
+// subsumption, self-subsuming resolution, bounded variable elimination) and
+// for solver assumptions. Equisatisfiability and model reconstruction are
+// cross-checked against brute force and the CDCL solver.
+
+#include <gtest/gtest.h>
+
+#include "cnf/simplify.h"
+#include "common/rng.h"
+#include "sat/solver.h"
+
+namespace csat::cnf {
+namespace {
+
+Lit pos(std::uint32_t v) { return Lit::make(v, false); }
+Lit neg(std::uint32_t v) { return Lit::make(v, true); }
+
+bool brute_force_sat(const Cnf& f) {
+  CSAT_CHECK(f.num_vars() <= 20);
+  std::vector<bool> model(f.num_vars());
+  for (std::uint64_t m = 0; m < (1ULL << f.num_vars()); ++m) {
+    for (std::uint32_t v = 0; v < f.num_vars(); ++v) model[v] = (m >> v) & 1;
+    if (f.satisfied_by(model)) return true;
+  }
+  return false;
+}
+
+Cnf random_3sat(int vars, int clauses, std::uint64_t seed) {
+  Rng rng(seed);
+  Cnf f;
+  f.add_vars(vars);
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<Lit> c;
+    while (c.size() < 3) {
+      const auto v = static_cast<std::uint32_t>(rng.next_below(vars));
+      bool dup = false;
+      for (Lit x : c) dup |= x.var() == v;
+      if (!dup) c.push_back(Lit::make(v, rng.next_bool()));
+    }
+    f.add_clause(c);
+  }
+  return f;
+}
+
+TEST(Simplify, UnitPropagationChains) {
+  Cnf f;
+  f.add_vars(4);
+  f.add_unit(pos(0));
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(1), pos(2));
+  f.add_ternary(neg(2), pos(3), pos(0));
+  const auto r = simplify(f);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.fixed_units, 3u);
+  // Everything collapses to units (x3 is pure or free).
+  for (std::size_t i = 0; i < r.cnf.num_clauses(); ++i)
+    EXPECT_EQ(r.cnf.clause(i).size(), 1u);
+}
+
+TEST(Simplify, DetectsUnsatDuringPropagation) {
+  Cnf f;
+  f.add_vars(2);
+  f.add_unit(pos(0));
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(0), neg(1));
+  const auto r = simplify(f);
+  EXPECT_TRUE(r.unsat);
+  EXPECT_EQ(sat::solve_cnf(r.cnf).status, sat::Status::kUnsat);
+}
+
+TEST(Simplify, PureLiteralElimination) {
+  Cnf f;
+  f.add_vars(3);
+  f.add_binary(pos(0), pos(1));  // x0 occurs only positively
+  f.add_binary(pos(0), neg(1));
+  f.add_binary(pos(2), neg(2));  // tautology: dropped on input
+  const auto r = simplify(f);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.pure_literals, 1u);
+}
+
+TEST(Simplify, SubsumptionRemovesSupersets) {
+  Cnf f;
+  f.add_vars(4);
+  f.add_binary(pos(0), pos(1));
+  f.add_ternary(pos(0), pos(1), pos(2));  // subsumed by the binary
+  f.add_ternary(pos(0), pos(1), neg(3));  // subsumed too
+  SimplifyParams p;
+  p.variable_elimination = false;
+  p.pure_literals = false;
+  const auto r = simplify(f, p);
+  EXPECT_GE(r.stats.subsumed_clauses, 2u);
+}
+
+TEST(Simplify, SelfSubsumingResolutionStrengthens) {
+  Cnf f;
+  f.add_vars(3);
+  f.add_binary(pos(0), pos(1));
+  f.add_ternary(pos(0), neg(1), pos(2));  // resolves to (x0 x2)
+  SimplifyParams p;
+  p.variable_elimination = false;
+  p.pure_literals = false;
+  const auto r = simplify(f, p);
+  EXPECT_GE(r.stats.strengthened_clauses, 1u);
+}
+
+TEST(Simplify, VariableEliminationReducesVars) {
+  // v appears in 2x2 clauses; resolvents: 4 candidates, some tautological.
+  Cnf f;
+  f.add_vars(5);
+  f.add_binary(pos(0), pos(4));
+  f.add_binary(pos(1), pos(4));
+  f.add_binary(pos(2), neg(4));
+  f.add_binary(pos(3), neg(4));
+  const auto r = simplify(f);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.eliminated_vars + r.stats.pure_literals +
+                r.stats.fixed_units,
+            1u);
+}
+
+class SimplifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyProperty, PreservesSatisfiabilityAndModelsExtend) {
+  Rng rng(900 + GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const int vars = 6 + static_cast<int>(rng.next_below(10));
+    const int clauses = static_cast<int>(vars * (1.5 + 3.0 * rng.next_double()));
+    const Cnf f = random_3sat(vars, clauses, rng.next_u64());
+    const bool expected = brute_force_sat(f);
+
+    const auto r = simplify(f);
+    if (r.unsat) {
+      EXPECT_FALSE(expected);
+      continue;
+    }
+    const auto solved = sat::solve_cnf(r.cnf);
+    EXPECT_EQ(solved.status == sat::Status::kSat, expected);
+    if (solved.status == sat::Status::kSat) {
+      // The reconstructed model must satisfy the ORIGINAL formula.
+      auto model = solved.model;
+      model.resize(f.num_vars());
+      const auto full = r.extend_model(model);
+      EXPECT_TRUE(f.satisfied_by(full));
+    }
+  }
+}
+
+TEST_P(SimplifyProperty, NeverGrowsTheFormula) {
+  Rng rng(7700 + GetParam());
+  const Cnf f = random_3sat(20, 80, rng.next_u64());
+  const auto r = simplify(f);
+  EXPECT_LE(r.cnf.num_literals(), f.num_literals() + f.num_vars());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Range(0, 8));
+
+TEST(Simplify, IdempotentOnFixpoint) {
+  const Cnf f = random_3sat(15, 60, 42);
+  const auto r1 = simplify(f);
+  const auto r2 = simplify(r1.cnf);
+  EXPECT_EQ(r2.cnf.num_clauses(), r1.cnf.num_clauses() + 0u);
+  EXPECT_LE(r2.stats.eliminated_vars, 1u);
+}
+
+}  // namespace
+}  // namespace csat::cnf
+
+namespace csat::sat {
+namespace {
+
+using cnf::Lit;
+
+Lit pos(std::uint32_t v) { return Lit::make(v, false); }
+Lit neg(std::uint32_t v) { return Lit::make(v, true); }
+
+TEST(Assumptions, RestrictWithoutPermanence) {
+  Solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
+
+  const Lit assume_na[] = {neg(a)};
+  EXPECT_EQ(s.solve_assuming(assume_na), Status::kSat);
+  EXPECT_TRUE(s.model()[b]);
+
+  const Lit assume_both[] = {neg(a), neg(b)};
+  EXPECT_EQ(s.solve_assuming(assume_both), Status::kUnsat);
+
+  // The assumption is gone: the formula itself is still satisfiable.
+  EXPECT_EQ(s.solve(), Status::kSat);
+}
+
+TEST(Assumptions, SatisfiedAssumptionsAreSkipped) {
+  Solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(a)}));  // a fixed at level 0
+  const Lit assume[] = {pos(a), pos(b)};
+  EXPECT_EQ(s.solve_assuming(assume), Status::kSat);
+  EXPECT_TRUE(s.model()[a]);
+  EXPECT_TRUE(s.model()[b]);
+}
+
+TEST(Assumptions, ConflictingWithRootLevel) {
+  Solver s;
+  const auto a = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(a)}));
+  const Lit assume[] = {neg(a)};
+  EXPECT_EQ(s.solve_assuming(assume), Status::kUnsat);
+  EXPECT_EQ(s.solve(), Status::kSat);
+}
+
+TEST(Assumptions, IncrementalSweepOverCandidates) {
+  // (x0 | x1) & (x1 | x2) & (~x0 | ~x2): probe each variable both ways.
+  Solver s;
+  const auto x0 = s.new_var();
+  const auto x1 = s.new_var();
+  const auto x2 = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x0), pos(x1)}));
+  ASSERT_TRUE(s.add_clause({pos(x1), pos(x2)}));
+  ASSERT_TRUE(s.add_clause({neg(x0), neg(x2)}));
+  int sat_count = 0;
+  for (std::uint32_t v : {x0, x1, x2}) {
+    for (const bool value : {false, true}) {
+      const Lit assume[] = {Lit::make(v, !value)};
+      if (s.solve_assuming(assume) == Status::kSat) ++sat_count;
+    }
+  }
+  EXPECT_EQ(sat_count, 5);  // only x1=false forces... check: x1=0 => x0 & x2 both true, conflict
+}
+
+}  // namespace
+}  // namespace csat::sat
