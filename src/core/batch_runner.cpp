@@ -1,0 +1,72 @@
+#include "core/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace csat::core {
+
+BatchResult run_batch(const std::vector<aig::Aig>& instances,
+                      const BatchOptions& options) {
+  BatchResult batch;
+  batch.results.resize(instances.size());
+  if (instances.empty()) return batch;
+
+  std::size_t workers = options.num_workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    // Each portfolio instance already fans out portfolio_size solver
+    // threads; shrink the pool so the default doesn't oversubscribe.
+    if (options.pipeline.backend == SolveBackend::kPortfolio) {
+      workers = std::max<std::size_t>(
+          1, workers / std::max<std::size_t>(1, options.pipeline.portfolio_size));
+    }
+  }
+  workers = std::min(workers, instances.size());
+
+  Stopwatch total;
+  std::atomic<std::size_t> next{0};
+  std::mutex callback_mutex;
+
+  auto drain = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= instances.size()) return;
+      batch.results[i] = solve_instance(instances[i], options.pipeline);
+      if (options.on_result) {
+        const std::lock_guard<std::mutex> lock(callback_mutex);
+        options.on_result(i, batch.results[i]);
+      }
+    }
+  };
+
+  if (workers == 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (auto& t : pool) t.join();
+  }
+
+  batch.seconds = total.seconds();
+  for (const PipelineResult& r : batch.results) {
+    switch (r.status) {
+      case sat::Status::kSat:
+        ++batch.num_sat;
+        break;
+      case sat::Status::kUnsat:
+        ++batch.num_unsat;
+        break;
+      case sat::Status::kUnknown:
+        ++batch.num_unknown;
+        break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace csat::core

@@ -1,0 +1,52 @@
+#ifndef CSAT_CORE_BATCH_RUNNER_H
+#define CSAT_CORE_BATCH_RUNNER_H
+
+/// \file batch_runner.h
+/// Throughput layer over core/pipeline: drain a queue of CSAT instances
+/// across a pool of worker threads, one full pipeline run per instance.
+///
+/// Scheduling is work-stealing-by-counter (an atomic next-instance index),
+/// so workers never idle while instances remain. Results land in input
+/// order regardless of completion order, and each instance's result is
+/// identical to a sequential solve_instance() call with the same options —
+/// parallelism changes wall-clock time only. This is the serving shape the
+/// ROADMAP's scale goals build on: N instances in flight, M cores busy.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "aig/aig.h"
+#include "core/pipeline.h"
+
+namespace csat::core {
+
+struct BatchOptions {
+  /// Per-instance pipeline configuration (mode, solver backend, budgets).
+  PipelineOptions pipeline;
+  /// Worker threads; 0 means std::thread::hardware_concurrency(), divided
+  /// by portfolio_size when the portfolio backend is selected (each
+  /// instance then spawns its own solver threads).
+  std::size_t num_workers = 0;
+  /// Optional completion hook, called once per finished instance from the
+  /// worker that ran it (guarded by an internal mutex, so the callback may
+  /// touch shared state). Receives the input-order index and the result.
+  std::function<void(std::size_t, const PipelineResult&)> on_result;
+};
+
+struct BatchResult {
+  /// Per-instance pipeline results, aligned with the input order.
+  std::vector<PipelineResult> results;
+  double seconds = 0.0;
+  std::size_t num_sat = 0;
+  std::size_t num_unsat = 0;
+  std::size_t num_unknown = 0;
+};
+
+/// Runs every instance through the configured pipeline on a worker pool.
+[[nodiscard]] BatchResult run_batch(const std::vector<aig::Aig>& instances,
+                                    const BatchOptions& options = {});
+
+}  // namespace csat::core
+
+#endif  // CSAT_CORE_BATCH_RUNNER_H

@@ -1,9 +1,12 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 #include "cnf/simplify.h"
 #include "cnf/tseitin.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "sat/portfolio.h"
 
 namespace csat::core {
 
@@ -23,7 +26,47 @@ const char* to_string(PipelineMode mode) {
   return "?";
 }
 
+const char* to_string(SolveBackend backend) {
+  switch (backend) {
+    case SolveBackend::kSingle:
+      return "single";
+    case SolveBackend::kPortfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
 namespace {
+
+/// Dispatches the post-encoding solve to the configured backend. The
+/// portfolio keeps PipelineOptions::solver as its lead config so backends
+/// agree on the answer and differ only in wall-clock time.
+struct BackendResult {
+  sat::SolveResult solve;
+  std::size_t winner = std::numeric_limits<std::size_t>::max();
+};
+
+BackendResult run_backend(const cnf::Cnf& formula,
+                          const PipelineOptions& options) {
+  BackendResult out;
+  if (options.backend == SolveBackend::kSingle) {
+    out.solve = sat::solve_cnf(formula, options.solver, options.limits);
+    return out;
+  }
+  sat::PortfolioOptions popt;
+  popt.configs =
+      sat::default_portfolio(std::max<std::size_t>(1, options.portfolio_size),
+                             options.solver.seed);
+  popt.configs[0] = options.solver;
+  popt.limits = options.limits;
+  popt.deterministic = options.portfolio_deterministic;
+  auto r = sat::solve_portfolio(formula, popt);
+  out.solve.status = r.status;
+  out.solve.stats = r.stats;
+  out.solve.model = std::move(r.model);
+  out.winner = r.winner;
+  return out;
+}
 
 /// Optional CNF-level preprocessing; returns the formula to solve and a
 /// model hook that maps a model of it back onto the original variables.
@@ -66,12 +109,13 @@ PipelineResult run_baseline(const aig::Aig& instance,
     return result;
   }
   watch.restart();
-  const auto r = sat::solve_cnf(ef.formula, options.solver, options.limits);
+  const auto r = run_backend(ef.formula, options);
   result.solve_seconds = watch.seconds();
-  result.status = r.status;
-  result.solver_stats = r.stats;
-  if (r.status == sat::Status::kSat) {
-    const auto model = ef.restore(r.model, enc.cnf.num_vars());
+  result.status = r.solve.status;
+  result.solver_stats = r.solve.stats;
+  result.portfolio_winner = r.winner;
+  if (r.solve.status == sat::Status::kSat) {
+    const auto model = ef.restore(r.solve.model, enc.cnf.num_vars());
     result.witness = cnf::witness_from_model(instance, enc, model);
   }
   return result;
@@ -138,12 +182,13 @@ PipelineResult solve_instance(const aig::Aig& instance,
   result.cnf_vars = ef.formula.num_vars();
   result.cnf_clauses = ef.formula.num_clauses();
   watch.restart();
-  const auto r = sat::solve_cnf(ef.formula, options.solver, options.limits);
+  const auto r = run_backend(ef.formula, options);
   result.solve_seconds = watch.seconds();
-  result.status = r.status;
-  result.solver_stats = r.stats;
-  if (r.status == sat::Status::kSat) {
-    const auto model = ef.restore(r.model, p.cnf.num_vars());
+  result.status = r.solve.status;
+  result.solver_stats = r.solve.stats;
+  result.portfolio_winner = r.winner;
+  if (r.solve.status == sat::Status::kSat) {
+    const auto model = ef.restore(r.solve.model, p.cnf.num_vars());
     result.witness = lut::witness_from_model(p.netlist, p.encoding_info, model);
   }
   return result;

@@ -20,7 +20,9 @@
 /// Every run reports status, phase timings and solver statistics so the
 /// benchmark harness can assemble the paper's cactus curves and totals.
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -41,10 +43,25 @@ enum class PipelineMode {
 
 [[nodiscard]] const char* to_string(PipelineMode mode);
 
+/// How the encoded CNF is solved after preprocessing.
+enum class SolveBackend {
+  kSingle,     ///< one solver, PipelineOptions::solver config
+  kPortfolio,  ///< diversified multi-threaded race (sat/portfolio.h)
+};
+
+[[nodiscard]] const char* to_string(SolveBackend backend);
+
 struct PipelineOptions {
   PipelineMode mode = PipelineMode::kOurs;
   sat::SolverConfig solver = sat::SolverConfig::kissat_like();
   sat::Limits limits;  ///< per-instance solver budget (the paper's 1000 s cap)
+  SolveBackend backend = SolveBackend::kSingle;
+  /// Worker count for kPortfolio; configs come from sat::default_portfolio
+  /// seeded by solver.seed with solver as the lead (index-0) config.
+  std::size_t portfolio_size = 4;
+  /// Run the portfolio without first-finisher cancellation (reproducible
+  /// winner/stats at the cost of the losers' runtime).
+  bool portfolio_deterministic = false;
   int max_steps = 10;  ///< T
   bool normalize = true;
   /// Run the CNF-level preprocessor (SatELite/NiVER-style; cnf/simplify.h)
@@ -65,6 +82,10 @@ struct PipelineResult {
     return preprocess_seconds + solve_seconds;
   }
   sat::Stats solver_stats;
+  /// Winning config index when backend == kPortfolio and a worker produced
+  /// the verdict; SIZE_MAX otherwise (kSingle, portfolio timeout, and
+  /// trivially-SAT early exits that never reach a solver).
+  std::size_t portfolio_winner = std::numeric_limits<std::size_t>::max();
   std::size_t cnf_vars = 0;
   std::size_t cnf_clauses = 0;
   std::size_t ands_before = 0;

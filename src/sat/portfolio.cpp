@@ -1,0 +1,133 @@
+#include "sat/portfolio.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace csat::sat {
+
+std::vector<SolverConfig> default_portfolio(std::size_t n, std::uint64_t seed) {
+  std::vector<SolverConfig> configs;
+  configs.reserve(n);
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    SolverConfig c = (i % 2 == 0) ? SolverConfig::kissat_like()
+                                  : SolverConfig::cadical_like();
+    if (i > 0) {
+      c.seed = splitmix64(state) | 1;
+      // Alternate saved-phase polarity and inject a light random-decision
+      // mix so workers explore different parts of the search space.
+      c.default_phase = (i % 4) >= 2;
+      if (i >= 2) c.random_decision_freq = 0.01 * static_cast<double>(i / 2);
+      if (c.restarts == SolverConfig::Restarts::kLuby)
+        c.luby_unit = 64 + 32 * static_cast<std::uint32_t>(i);
+    }
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+PortfolioResult solve_portfolio(const Cnf& formula,
+                                const PortfolioOptions& options) {
+  const std::vector<SolverConfig> configs =
+      options.configs.empty()
+          ? default_portfolio(options.num_workers, options.seed)
+          : options.configs;
+  CSAT_CHECK_MSG(!configs.empty(), "portfolio needs at least one config");
+  const std::size_t n = configs.size();
+
+  PortfolioResult result;
+  result.workers.resize(n);
+  Stopwatch total;
+
+  std::atomic<bool> stop{false};
+  // Winner election: first definitive finisher claims the slot; in
+  // deterministic mode the race is replaced by a lowest-index scan below.
+  std::atomic<std::size_t> winner{PortfolioResult::kNoWinner};
+  std::vector<std::vector<bool>> models(n);
+
+  // Caller-supplied cancellation must keep working even though the workers'
+  // terminate slot is taken by the internal stop flag: a watcher folds the
+  // external flag into stop. (Deterministic mode passes limits through
+  // untouched, so the external flag reaches the workers directly.)
+  const std::atomic<bool>* external = options.limits.terminate;
+  std::thread watcher;
+  if (!options.deterministic && external != nullptr) {
+    watcher = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (external->load(std::memory_order_relaxed)) {
+          stop.store(true);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  auto run_worker = [&](std::size_t i) {
+    Stopwatch watch;
+    Solver solver(configs[i]);
+    solver.add_formula(formula);
+    Limits limits = options.limits;
+    if (!options.deterministic) limits.terminate = &stop;
+    const Status status = solver.solve(limits);
+    result.workers[i].status = status;
+    result.workers[i].stats = solver.stats();
+    result.workers[i].seconds = watch.seconds();
+    if (status == Status::kUnknown) return;
+    if (status == Status::kSat) models[i] = solver.model();
+    std::size_t expected = PortfolioResult::kNoWinner;
+    if (winner.compare_exchange_strong(expected, i)) stop.store(true);
+  };
+
+  if (n == 1) {
+    run_worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) threads.emplace_back(run_worker, i);
+    for (auto& t : threads) t.join();
+  }
+
+  stop.store(true);  // release the watcher when no worker ever finished
+  if (watcher.joinable()) watcher.join();
+
+  std::size_t win = winner.load();
+  if (options.deterministic) {
+    win = PortfolioResult::kNoWinner;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.workers[i].status != Status::kUnknown) {
+        win = i;
+        break;
+      }
+    }
+  }
+  result.seconds = total.seconds();
+  if (win == PortfolioResult::kNoWinner) {
+    // Budget exhausted with no verdict: report the lead worker's stats so
+    // budgeted runs show real search effort, comparable to a single solve
+    // of configs[0] under the same limits, instead of zeros.
+    result.stats = result.workers[0].stats;
+    return result;
+  }
+
+  result.winner = win;
+  result.status = result.workers[win].status;
+  result.stats = result.workers[win].stats;
+  result.model = std::move(models[win]);
+  if (result.status == Status::kSat)
+    CSAT_CHECK_MSG(formula.satisfied_by(result.model),
+                   "portfolio winner returned invalid model");
+  // Soundness: any other definitive worker must agree with the winner.
+  for (const WorkerOutcome& w : result.workers)
+    if (w.status != Status::kUnknown)
+      CSAT_CHECK_MSG(w.status == result.status,
+                     "portfolio workers disagree on SAT/UNSAT");
+  return result;
+}
+
+}  // namespace csat::sat

@@ -1,0 +1,83 @@
+#ifndef CSAT_SAT_PORTFOLIO_H
+#define CSAT_SAT_PORTFOLIO_H
+
+/// \file portfolio.h
+/// Multi-threaded portfolio solving: race N diversified CDCL configurations
+/// on the same formula, first definitive answer wins.
+///
+/// Each worker runs a private Solver (the solver itself is single-threaded
+/// and shares nothing), so the only cross-thread traffic is the one atomic
+/// stop flag wired through Limits::terminate plus the winner election.
+/// Because every configuration is a sound decision procedure, whichever
+/// worker finishes first yields the same SAT/UNSAT verdict any other would
+/// eventually reach — the race affects wall-clock time and the witnessing
+/// model, never the answer. With `deterministic` set, cancellation is
+/// disabled and the lowest-index definitive worker is reported, making the
+/// full result (winner, stats, model) a pure function of formula + options.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cnf/cnf.h"
+#include "sat/solver.h"
+
+namespace csat::sat {
+
+struct PortfolioOptions {
+  /// Configurations to race; when empty, default_portfolio(num_workers,
+  /// seed) is used.
+  std::vector<SolverConfig> configs;
+  /// Worker count used only when configs is empty.
+  std::size_t num_workers = 4;
+  /// Seed for default diversification (ignored when configs is non-empty).
+  std::uint64_t seed = 91648253;
+  /// Per-worker budget. A caller-supplied Limits::terminate cancels the
+  /// whole race (the portfolio folds it into its internal stop flag).
+  Limits limits;
+  /// Disable first-finisher cancellation: every worker runs to its own
+  /// verdict or budget, and the lowest-index definitive worker is the
+  /// winner. Reproducible bit-for-bit; costs the losers' runtime.
+  bool deterministic = false;
+};
+
+/// Diversified configuration family: alternating kissat-like / cadical-like
+/// presets with per-worker seeds, phases and random-decision frequencies.
+/// Deterministic in (n, seed); configs[0] is the unmodified kissat-like
+/// preset so a 1-worker portfolio equals the default single solver.
+[[nodiscard]] std::vector<SolverConfig> default_portfolio(
+    std::size_t n, std::uint64_t seed = 91648253);
+
+struct WorkerOutcome {
+  Status status = Status::kUnknown;  ///< kUnknown = cancelled or out of budget
+  Stats stats;
+  double seconds = 0.0;
+};
+
+struct PortfolioResult {
+  static constexpr std::size_t kNoWinner =
+      std::numeric_limits<std::size_t>::max();
+
+  Status status = Status::kUnknown;
+  /// Index (into the raced configs) of the worker whose verdict is
+  /// reported; kNoWinner when every worker exhausted its budget.
+  std::size_t winner = kNoWinner;
+  /// Winner's statistics; with no winner, the lead (index-0) worker's
+  /// stats, so budgeted runs report real search effort.
+  Stats stats;
+  /// Winner's model when status == kSat.
+  std::vector<bool> model;
+  /// Per-worker outcomes, aligned with the raced configs.
+  std::vector<WorkerOutcome> workers;
+  double seconds = 0.0;
+};
+
+/// Races the portfolio on \p formula. Thread-safe with respect to other
+/// concurrent solves (workers share nothing but the stop flag).
+[[nodiscard]] PortfolioResult solve_portfolio(const Cnf& formula,
+                                              const PortfolioOptions& options = {});
+
+}  // namespace csat::sat
+
+#endif  // CSAT_SAT_PORTFOLIO_H

@@ -457,6 +457,13 @@ Status Solver::solve(const Limits& limits) {
 
   std::vector<Lit> learnt;
   for (;;) {
+    // Checked every iteration (conflicts included) so portfolio losers stop
+    // promptly even inside long conflict bursts.
+    if (limits.terminate != nullptr &&
+        limits.terminate->load(std::memory_order_relaxed)) {
+      backtrack(0);
+      return Status::kUnknown;
+    }
     const ClauseRef confl = propagate();
     if (confl != kNoReason) {
       ++stats_.conflicts;

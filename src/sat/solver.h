@@ -20,6 +20,7 @@
 /// Determinism: given the same formula, config and seed, every run produces
 /// identical statistics — required for reproducible experiments.
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -99,6 +100,11 @@ struct Limits {
   std::uint64_t max_conflicts = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_decisions = std::numeric_limits<std::uint64_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// External cancellation (portfolio first-finisher-wins): when non-null
+  /// and set, solve() backtracks to level 0 and returns Status::kUnknown at
+  /// the next checkpoint. The solver only reads through this pointer; the
+  /// clause database and stats stay valid and a later solve() may resume.
+  const std::atomic<bool>* terminate = nullptr;
 };
 
 class Solver {

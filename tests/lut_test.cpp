@@ -49,10 +49,12 @@ void check_mapping_exhaustive(const Aig& g, const MapperParams& params) {
   const auto mapped = map_to_luts(g, params);
   ASSERT_EQ(mapped.netlist.num_pis(), g.num_pis());
   ASSERT_EQ(mapped.netlist.num_pos(), g.num_pos());
-  for (std::uint32_t n = 0; n < mapped.netlist.num_nodes(); ++n)
-    if (!mapped.netlist.is_pi(n))
+  for (std::uint32_t n = 0; n < mapped.netlist.num_nodes(); ++n) {
+    if (!mapped.netlist.is_pi(n)) {
       ASSERT_LE(mapped.netlist.fanins(n).size(),
                 static_cast<std::size_t>(params.lut_size));
+    }
+  }
   CSAT_CHECK(g.num_pis() <= 14);
   std::vector<bool> in(g.num_pis());
   for (std::uint64_t m = 0; m < (1ULL << g.num_pis()); ++m) {

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cnf/tseitin.h"
+#include "common/rng.h"
+#include "core/batch_runner.h"
+#include "core/pipeline.h"
+#include "gen/arith.h"
+#include "gen/miter.h"
+#include "gen/suite.h"
+#include "sat/portfolio.h"
+#include "sat/solver.h"
+#include "test_formulas.h"
+
+namespace csat {
+namespace {
+
+using test::pigeonhole;
+using test::random_3sat;
+
+cnf::Cnf adder_miter_cnf(int width) {
+  aig::Aig g1, g2;
+  {
+    const auto a = gen::input_word(g1, width);
+    const auto b = gen::input_word(g1, width);
+    for (aig::Lit l : gen::ripple_carry_add(g1, a, b, aig::kFalse, true))
+      g1.add_po(l);
+  }
+  {
+    const auto a = gen::input_word(g2, width);
+    const auto b = gen::input_word(g2, width);
+    for (aig::Lit l : gen::kogge_stone_add(g2, a, b, aig::kFalse, true))
+      g2.add_po(l);
+  }
+  return cnf::tseitin_encode(gen::make_miter(g1, g2)).cnf;
+}
+
+bool stats_equal(const sat::Stats& a, const sat::Stats& b) {
+  return a.decisions == b.decisions && a.conflicts == b.conflicts &&
+         a.propagations == b.propagations && a.restarts == b.restarts &&
+         a.learned == b.learned && a.removed == b.removed;
+}
+
+// --- solver termination / budget hooks -------------------------------------
+
+TEST(SolverTermination, PresetTerminateFlagReturnsUnknownImmediately) {
+  const cnf::Cnf f = pigeonhole(8);
+  sat::Solver solver;
+  solver.add_formula(f);
+  std::atomic<bool> stop{true};
+  sat::Limits limits;
+  limits.terminate = &stop;
+  EXPECT_EQ(solver.solve(limits), sat::Status::kUnknown);
+  // No search happened: the flag is honored before the first decision.
+  EXPECT_EQ(solver.stats().decisions, 0u);
+}
+
+TEST(SolverTermination, CrossThreadTerminateStopsHardSolve) {
+  const cnf::Cnf f = pigeonhole(20);  // far beyond any test-time budget
+  sat::Solver solver;
+  solver.add_formula(f);
+  std::atomic<bool> stop{false};
+  sat::Limits limits;
+  limits.terminate = &stop;
+  sat::Status status = sat::Status::kSat;
+  std::thread worker([&] { status = solver.solve(limits); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  worker.join();
+  EXPECT_EQ(status, sat::Status::kUnknown);
+  EXPECT_GT(solver.stats().decisions, 0u);
+}
+
+TEST(SolverTermination, BudgetedSolveIsResumable) {
+  const cnf::Cnf f = pigeonhole(7);
+  sat::Solver solver;
+  solver.add_formula(f);
+  sat::Limits budget;
+  budget.max_conflicts = 50;
+  EXPECT_EQ(solver.solve(budget), sat::Status::kUnknown);
+  const sat::Stats mid = solver.stats();
+  EXPECT_GE(mid.conflicts, 50u);
+  // Stats survive the interruption and a second solve() completes the proof
+  // using the clauses learned so far.
+  EXPECT_EQ(solver.solve(), sat::Status::kUnsat);
+  EXPECT_GE(solver.stats().conflicts, mid.conflicts);
+}
+
+TEST(SolverTermination, BudgetedSatInstanceResumesToModel) {
+  const cnf::Cnf f = random_3sat(150, 600, 11);
+  sat::Solver solver;
+  solver.add_formula(f);
+  sat::Limits budget;
+  budget.max_decisions = 5;
+  const sat::Status first = solver.solve(budget);
+  if (first == sat::Status::kUnknown) {
+    const sat::Status second = solver.solve();
+    ASSERT_EQ(second, sat::Status::kSat);
+    EXPECT_TRUE(f.satisfied_by(solver.model()));
+  } else {
+    EXPECT_EQ(first, sat::Status::kSat);
+  }
+}
+
+// --- default portfolio construction ----------------------------------------
+
+TEST(Portfolio, DefaultConfigsAreDeterministicAndDiverse) {
+  const auto a = sat::default_portfolio(6, 42);
+  const auto b = sat::default_portfolio(6, 42);
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed) << i;
+    EXPECT_EQ(a[i].restarts, b[i].restarts) << i;
+    EXPECT_EQ(a[i].random_decision_freq, b[i].random_decision_freq) << i;
+  }
+  // Lead config is the unmodified kissat-like preset.
+  EXPECT_EQ(a[0].seed, sat::SolverConfig::kissat_like().seed);
+  EXPECT_EQ(a[0].restarts, sat::SolverConfig::Restarts::kEma);
+  // Seeds diversify the rest.
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_NE(a[i].seed, a[0].seed) << i;
+}
+
+// --- portfolio race ---------------------------------------------------------
+
+TEST(Portfolio, DeterministicModeIsReproducible) {
+  const cnf::Cnf f = random_3sat(120, 504, 3);
+  sat::PortfolioOptions opt;
+  opt.num_workers = 4;
+  opt.deterministic = true;
+  const auto r1 = sat::solve_portfolio(f, opt);
+  const auto r2 = sat::solve_portfolio(f, opt);
+  ASSERT_NE(r1.status, sat::Status::kUnknown);
+  EXPECT_EQ(r1.status, r2.status);
+  EXPECT_EQ(r1.winner, r2.winner);
+  EXPECT_TRUE(stats_equal(r1.stats, r2.stats));
+  EXPECT_EQ(r1.model, r2.model);
+  // Every worker ran to completion and is individually reproducible.
+  ASSERT_EQ(r1.workers.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NE(r1.workers[i].status, sat::Status::kUnknown) << i;
+    EXPECT_TRUE(stats_equal(r1.workers[i].stats, r2.workers[i].stats)) << i;
+  }
+}
+
+TEST(Portfolio, DeterministicWinnerMatchesSingleSolver) {
+  const cnf::Cnf f = adder_miter_cnf(6);
+  sat::PortfolioOptions opt;
+  opt.num_workers = 3;
+  opt.deterministic = true;
+  const auto r = sat::solve_portfolio(f, opt);
+  // Unlimited budgets: every worker is definitive, so the lowest-index
+  // worker (the unmodified lead config) wins and must match a plain solve.
+  EXPECT_EQ(r.winner, 0u);
+  const auto single = sat::solve_cnf(f, sat::SolverConfig::kissat_like());
+  EXPECT_EQ(r.status, single.status);
+  EXPECT_TRUE(stats_equal(r.stats, single.stats));
+}
+
+TEST(Portfolio, FirstFinisherCancelsLosers) {
+  // Hard UNSAT family: every config needs substantial search, so when the
+  // winner crosses the line the losers are mid-flight. A loser that was
+  // NOT cancelled would run to a definitive verdict (budgets are
+  // unlimited) — observing kUnknown proves the terminate hook fired.
+  const cnf::Cnf f = pigeonhole(7);
+  sat::PortfolioOptions opt;
+  opt.num_workers = 4;
+  const auto r = sat::solve_portfolio(f, opt);
+  EXPECT_EQ(r.status, sat::Status::kUnsat);
+  ASSERT_LT(r.winner, 4u);
+  std::size_t cancelled = 0;
+  for (const auto& w : r.workers)
+    if (w.status == sat::Status::kUnknown) ++cancelled;
+  EXPECT_GE(cancelled, 1u);
+}
+
+TEST(Portfolio, AgreementAcrossConfigsOnCraftedFamilies) {
+  struct Family {
+    cnf::Cnf formula;
+    sat::Status expected;
+  };
+  std::vector<Family> families;
+  families.push_back({pigeonhole(5), sat::Status::kUnsat});
+  families.push_back({adder_miter_cnf(5), sat::Status::kUnsat});
+  families.push_back({random_3sat(60, 180, 5), sat::Status::kSat});
+  for (std::size_t fi = 0; fi < families.size(); ++fi) {
+    sat::PortfolioOptions opt;
+    opt.num_workers = 4;
+    opt.deterministic = true;  // force every config to a verdict
+    const auto r = sat::solve_portfolio(families[fi].formula, opt);
+    EXPECT_EQ(r.status, families[fi].expected) << fi;
+    for (std::size_t wi = 0; wi < r.workers.size(); ++wi)
+      EXPECT_EQ(r.workers[wi].status, families[fi].expected)
+          << "family " << fi << " worker " << wi;
+    if (r.status == sat::Status::kSat) {
+      EXPECT_TRUE(families[fi].formula.satisfied_by(r.model)) << fi;
+    }
+  }
+}
+
+TEST(Portfolio, BudgetExhaustionReportsNoWinner) {
+  const cnf::Cnf f = pigeonhole(9);
+  sat::PortfolioOptions opt;
+  opt.num_workers = 2;
+  opt.limits.max_conflicts = 20;
+  const auto r = sat::solve_portfolio(f, opt);
+  EXPECT_EQ(r.status, sat::Status::kUnknown);
+  EXPECT_EQ(r.winner, sat::PortfolioResult::kNoWinner);
+  for (const auto& w : r.workers) EXPECT_EQ(w.status, sat::Status::kUnknown);
+  // No winner still surfaces the lead worker's search effort.
+  EXPECT_GE(r.stats.conflicts, 20u);
+}
+
+TEST(Portfolio, ExternalTerminateCancelsWholeRace) {
+  const cnf::Cnf f = pigeonhole(20);  // unsolvable within test time
+  sat::PortfolioOptions opt;
+  opt.num_workers = 2;
+  std::atomic<bool> cancel{false};
+  opt.limits.terminate = &cancel;
+  sat::PortfolioResult r;
+  std::thread race([&] { r = sat::solve_portfolio(f, opt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  cancel.store(true);
+  race.join();
+  EXPECT_EQ(r.status, sat::Status::kUnknown);
+  EXPECT_EQ(r.winner, sat::PortfolioResult::kNoWinner);
+}
+
+// --- batch runner -----------------------------------------------------------
+
+TEST(BatchRunner, MatchesSequentialAnswers) {
+  gen::SuiteParams params;
+  params.count = 12;
+  params.seed = 17;
+  const auto suite = gen::make_suite(params);
+  std::vector<aig::Aig> circuits;
+  for (const auto& inst : suite) circuits.push_back(inst.circuit);
+
+  core::BatchOptions seq;
+  seq.pipeline.mode = core::PipelineMode::kBaseline;
+  seq.num_workers = 1;
+  const auto ref = core::run_batch(circuits, seq);
+
+  core::BatchOptions par;
+  par.pipeline.mode = core::PipelineMode::kBaseline;
+  par.pipeline.backend = core::SolveBackend::kPortfolio;
+  par.pipeline.portfolio_size = 3;
+  par.num_workers = 4;
+  const auto run = core::run_batch(circuits, par);
+
+  ASSERT_EQ(ref.results.size(), run.results.size());
+  for (std::size_t i = 0; i < ref.results.size(); ++i)
+    EXPECT_EQ(ref.results[i].status, run.results[i].status) << suite[i].name;
+  EXPECT_EQ(ref.num_sat + ref.num_unsat + ref.num_unknown, circuits.size());
+  EXPECT_EQ(ref.num_sat, run.num_sat);
+  EXPECT_EQ(ref.num_unsat, run.num_unsat);
+}
+
+TEST(BatchRunner, CompletionCallbackSeesEveryInstance) {
+  gen::SuiteParams params;
+  params.count = 8;
+  params.seed = 23;
+  const auto suite = gen::make_suite(params);
+  std::vector<aig::Aig> circuits;
+  for (const auto& inst : suite) circuits.push_back(inst.circuit);
+
+  std::vector<bool> seen(circuits.size(), false);
+  core::BatchOptions opt;
+  opt.pipeline.mode = core::PipelineMode::kBaseline;
+  opt.num_workers = 3;
+  opt.on_result = [&](std::size_t i, const core::PipelineResult&) {
+    seen[i] = true;
+  };
+  const auto batch = core::run_batch(circuits, opt);
+  EXPECT_EQ(batch.results.size(), circuits.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST(BatchRunner, EmptyBatchIsWellDefined) {
+  const auto batch = core::run_batch({}, {});
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.num_sat + batch.num_unsat + batch.num_unknown, 0u);
+}
+
+}  // namespace
+}  // namespace csat

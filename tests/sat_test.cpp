@@ -7,6 +7,7 @@
 #include "common/luby.h"
 #include "common/rng.h"
 #include "sat/solver.h"
+#include "test_formulas.h"
 
 namespace csat::sat {
 namespace {
@@ -27,43 +28,8 @@ bool brute_force_sat(const Cnf& f) {
   return false;
 }
 
-/// Pigeonhole principle PHP(holes+1, holes): always UNSAT.
-Cnf pigeonhole(int holes) {
-  const int pigeons = holes + 1;
-  Cnf f;
-  f.add_vars(static_cast<std::uint32_t>(pigeons * holes));
-  const auto var = [&](int p, int h) {
-    return static_cast<std::uint32_t>(p * holes + h);
-  };
-  for (int p = 0; p < pigeons; ++p) {
-    std::vector<Lit> clause;
-    for (int h = 0; h < holes; ++h) clause.push_back(pos(var(p, h)));
-    f.add_clause(clause);
-  }
-  for (int h = 0; h < holes; ++h)
-    for (int p1 = 0; p1 < pigeons; ++p1)
-      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
-        f.add_binary(neg(var(p1, h)), neg(var(p2, h)));
-  return f;
-}
-
-Cnf random_3sat(int vars, int clauses, std::uint64_t seed) {
-  Rng rng(seed);
-  Cnf f;
-  f.add_vars(static_cast<std::uint32_t>(vars));
-  for (int i = 0; i < clauses; ++i) {
-    std::vector<Lit> c;
-    while (c.size() < 3) {
-      const auto v = static_cast<std::uint32_t>(rng.next_below(vars));
-      const Lit l = Lit::make(v, rng.next_bool());
-      bool dup = false;
-      for (Lit x : c) dup |= x.var() == l.var();
-      if (!dup) c.push_back(l);
-    }
-    f.add_clause(c);
-  }
-  return f;
-}
+using test::pigeonhole;
+using test::random_3sat;
 
 TEST(Luby, FirstElements) {
   const std::uint64_t expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
@@ -169,7 +135,9 @@ TEST(Solver, StatsAreDeterministicForFixedSeed) {
 TEST(Solver, DecisionsAreCountedOnSatisfiableInstances) {
   const Cnf f = random_3sat(40, 120, 5);
   const auto r = solve_cnf(f);
-  if (r.status == Status::kSat) EXPECT_GT(r.stats.decisions, 0u);
+  if (r.status == Status::kSat) {
+    EXPECT_GT(r.stats.decisions, 0u);
+  }
 }
 
 class RandomCnfCrossCheck : public ::testing::TestWithParam<int> {};
@@ -189,7 +157,9 @@ TEST_P(RandomCnfCrossCheck, MatchesBruteForce) {
           << "vars=" << vars << " clauses=" << clauses << " iter=" << i;
       // solve_cnf internally CSAT_CHECKs the model; re-check here for the
       // test report.
-      if (r.status == Status::kSat) EXPECT_TRUE(f.satisfied_by(r.model));
+      if (r.status == Status::kSat) {
+        EXPECT_TRUE(f.satisfied_by(r.model));
+      }
     }
   }
 }

@@ -1,0 +1,62 @@
+#ifndef CSAT_TESTS_TEST_FORMULAS_H
+#define CSAT_TESTS_TEST_FORMULAS_H
+
+/// \file test_formulas.h
+/// Crafted CNF families shared by the test suites. Keep the RNG call order
+/// in random_3sat() stable: the fixed-seed suites depend on reproducing the
+/// exact same formulas run-to-run.
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/cnf.h"
+#include "common/rng.h"
+
+namespace csat::test {
+
+/// Pigeonhole principle PHP(holes+1, holes): always UNSAT, and
+/// resolution-hard, so runtime scales steeply with \p holes.
+inline cnf::Cnf pigeonhole(int holes) {
+  const int pigeons = holes + 1;
+  cnf::Cnf f;
+  f.add_vars(static_cast<std::uint32_t>(pigeons * holes));
+  const auto var = [&](int p, int h) {
+    return static_cast<std::uint32_t>(p * holes + h);
+  };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<cnf::Lit> clause;
+    for (int h = 0; h < holes; ++h)
+      clause.push_back(cnf::Lit::make(var(p, h), false));
+    f.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        f.add_binary(cnf::Lit::make(var(p1, h), true),
+                     cnf::Lit::make(var(p2, h), true));
+  return f;
+}
+
+/// Uniform random 3-SAT with distinct variables per clause.
+inline cnf::Cnf random_3sat(int vars, int clauses, std::uint64_t seed) {
+  Rng rng(seed);
+  cnf::Cnf f;
+  f.add_vars(static_cast<std::uint32_t>(vars));
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<cnf::Lit> c;
+    while (c.size() < 3) {
+      const auto v = static_cast<std::uint32_t>(
+          rng.next_below(static_cast<std::uint64_t>(vars)));
+      const cnf::Lit l = cnf::Lit::make(v, rng.next_bool());
+      bool dup = false;
+      for (cnf::Lit x : c) dup |= x.var() == l.var();
+      if (!dup) c.push_back(l);
+    }
+    f.add_clause(c);
+  }
+  return f;
+}
+
+}  // namespace csat::test
+
+#endif  // CSAT_TESTS_TEST_FORMULAS_H
