@@ -8,8 +8,8 @@
 
 #include "cnf/tseitin.h"
 #include "common/rng.h"
-#include "gen/arith.h"
 #include "gen/miter.h"
+#include "sat/portfolio.h"
 #include "sat/solver.h"
 
 using namespace csat;
@@ -56,20 +56,7 @@ cnf::Cnf pigeonhole(int holes) {
 }
 
 cnf::Cnf adder_miter_cnf(int width) {
-  aig::Aig g1, g2;
-  {
-    const auto a = gen::input_word(g1, width);
-    const auto b = gen::input_word(g1, width);
-    for (aig::Lit l : gen::ripple_carry_add(g1, a, b, aig::kFalse, true))
-      g1.add_po(l);
-  }
-  {
-    const auto a = gen::input_word(g2, width);
-    const auto b = gen::input_word(g2, width);
-    for (aig::Lit l : gen::kogge_stone_add(g2, a, b, aig::kFalse, true))
-      g2.add_po(l);
-  }
-  return cnf::tseitin_encode(gen::make_miter(g1, g2)).cnf;
+  return cnf::tseitin_encode(gen::make_adder_miter(width)).cnf;
 }
 
 sat::SolverConfig preset(int index) {
@@ -113,6 +100,35 @@ void BM_AdderMiterUnsat(benchmark::State& state) {
   report_stats(state, last);
 }
 
+// --- portfolio clause sharing on/off ----------------------------------------
+// Same 4-worker race with and without the clause exchange; arg1 toggles
+// sharing. The delta on resolution-hard UNSAT families (pigeonhole, adder
+// miters) is the headline number for HordeSat-style glue sharing.
+
+void run_portfolio_case(benchmark::State& state, const cnf::Cnf& f) {
+  sat::PortfolioOptions opt;
+  opt.num_workers = 4;
+  opt.sharing.enabled = state.range(1) != 0;
+  sat::PortfolioResult last;
+  for (auto _ : state) {
+    last = sat::solve_portfolio(f, opt);
+    benchmark::DoNotOptimize(last.status);
+  }
+  state.counters["conflicts"] = static_cast<double>(last.stats.conflicts);
+  state.counters["exported"] = static_cast<double>(last.clauses_exported);
+  state.counters["imported"] = static_cast<double>(last.clauses_imported);
+}
+
+void BM_PortfolioPigeonhole(benchmark::State& state) {
+  const cnf::Cnf f = pigeonhole(static_cast<int>(state.range(0)));
+  run_portfolio_case(state, f);
+}
+
+void BM_PortfolioAdderMiter(benchmark::State& state) {
+  const cnf::Cnf f = adder_miter_cnf(static_cast<int>(state.range(0)));
+  run_portfolio_case(state, f);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Random3SatNearThreshold)
@@ -131,5 +147,20 @@ BENCHMARK(BM_AdderMiterUnsat)
     ->Args({8, 1})
     ->Args({16, 0})
     ->Unit(benchmark::kMillisecond);
+// arg0 = instance size, arg1 = sharing off/on.
+BENCHMARK(BM_PortfolioPigeonhole)
+    ->Args({7, 0})
+    ->Args({7, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_PortfolioAdderMiter)
+    ->Args({12, 0})
+    ->Args({12, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

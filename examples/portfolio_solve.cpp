@@ -1,22 +1,28 @@
 // Portfolio/batch solving demo: drain a generated suite of CSAT instances
 // through the worker-pool batch runner, racing a diversified solver
-// portfolio per instance, and cross-check every answer against sequential
-// single-config solving.
+// portfolio per instance (with cross-worker clause sharing), and
+// cross-check every answer against sequential single-config solving.
 //
 //   $ ./portfolio_solve [--instances=N] [--workers=W] [--portfolio=K]
 //                       [--mode=baseline|comp|ours] [--seed=S]
+//                       [--sharing=on|off] [--glue=L]
 //
 // Exits non-zero if any portfolio verdict disagrees with the sequential
 // baseline — the batch/portfolio layer must change wall-clock time only,
-// never answers.
+// never answers. The final section races one hard UNSAT miter directly
+// through sat::solve_portfolio and prints per-worker exported/imported
+// clause-sharing traffic.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "cnf/tseitin.h"
 #include "core/batch_runner.h"
 #include "core/pipeline.h"
+#include "gen/miter.h"
 #include "gen/suite.h"
+#include "sat/portfolio.h"
 
 using namespace csat;
 
@@ -36,6 +42,8 @@ int main(int argc, char** argv) {
   std::size_t portfolio = 4;
   std::string mode = "comp";
   std::uint64_t seed = 1;
+  bool sharing = true;
+  std::uint32_t glue = 2;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--instances=", 0) == 0) {
@@ -66,6 +74,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--sharing=", 0) == 0) {
+      const std::string v = arg.substr(10);
+      if (v != "on" && v != "off") {
+        std::fprintf(stderr, "--sharing must be on or off\n");
+        return 2;
+      }
+      sharing = v == "on";
+    } else if (arg.rfind("--glue=", 0) == 0) {
+      const int v = std::atoi(arg.c_str() + 7);
+      if (v < 0) {
+        std::fprintf(stderr, "--glue must be >= 0\n");
+        return 2;
+      }
+      glue = static_cast<std::uint32_t>(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -101,11 +123,18 @@ int main(int argc, char** argv) {
   par.pipeline = base;
   par.pipeline.backend = core::SolveBackend::kPortfolio;
   par.pipeline.portfolio_size = portfolio;
+  par.pipeline.portfolio_sharing.enabled = sharing;
+  par.pipeline.portfolio_sharing.max_lbd = glue;
   par.num_workers = workers;
   const auto run = core::run_batch(circuits, par);
   std::printf("pool/portfolio(%zu):  %zu SAT, %zu UNSAT, %zu UNKNOWN in %.3fs\n",
               portfolio, run.num_sat, run.num_unsat, run.num_unknown,
               run.seconds);
+  std::printf("clause sharing %s (glue<=%u): %llu exported, %llu imported "
+              "across the batch\n",
+              sharing ? "on" : "off", glue,
+              static_cast<unsigned long long>(run.clauses_exported),
+              static_cast<unsigned long long>(run.clauses_imported));
 
   // --- 4. Answers must be identical --------------------------------------
   int mismatches = 0;
@@ -123,5 +152,31 @@ int main(int argc, char** argv) {
   }
   std::printf("all %zu verdicts agree; speedup %.2fx\n", circuits.size(),
               run.seconds > 0.0 ? ref.seconds / run.seconds : 0.0);
+
+  // --- 5. Per-worker sharing traffic on one hard UNSAT miter --------------
+  // An adder-equivalence miter (ripple-carry vs Kogge-Stone) is UNSAT and
+  // needs real search in every worker, so the exchange sees traffic.
+  const auto miter_cnf = cnf::tseitin_encode(gen::make_adder_miter(10)).cnf;
+  sat::PortfolioOptions popt;
+  popt.num_workers = portfolio;
+  popt.sharing.enabled = sharing;
+  popt.sharing.max_lbd = glue;
+  const auto race = sat::solve_portfolio(miter_cnf, popt);
+  std::printf("\nadder miter race (%s, sharing %s): winner %zu in %.3fs\n",
+              status_name(race.status), sharing ? "on" : "off",
+              race.winner == sat::PortfolioResult::kNoWinner
+                  ? static_cast<std::size_t>(0)
+                  : race.winner,
+              race.seconds);
+  for (std::size_t w = 0; w < race.workers.size(); ++w) {
+    const auto& st = race.workers[w].stats;
+    std::printf("  worker %zu: %-8s %8llu conflicts, %6llu exported, "
+                "%6llu imported (%llu lost to overwrite)\n",
+                w, status_name(race.workers[w].status),
+                static_cast<unsigned long long>(st.conflicts),
+                static_cast<unsigned long long>(st.exported),
+                static_cast<unsigned long long>(st.imported),
+                static_cast<unsigned long long>(st.import_lost));
+  }
   return 0;
 }

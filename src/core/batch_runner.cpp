@@ -54,6 +54,8 @@ BatchResult run_batch(const std::vector<aig::Aig>& instances,
 
   batch.seconds = total.seconds();
   for (const PipelineResult& r : batch.results) {
+    batch.clauses_exported += r.clauses_exported;
+    batch.clauses_imported += r.clauses_imported;
     switch (r.status) {
       case sat::Status::kSat:
         ++batch.num_sat;

@@ -41,6 +41,10 @@ struct BatchResult {
   std::size_t num_sat = 0;
   std::size_t num_unsat = 0;
   std::size_t num_unknown = 0;
+  /// Clause-sharing totals summed over every instance's portfolio workers
+  /// (zero for the single-solver backend or with sharing disabled).
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
 };
 
 /// Runs every instance through the configured pipeline on a worker pool.

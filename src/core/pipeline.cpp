@@ -44,6 +44,8 @@ namespace {
 struct BackendResult {
   sat::SolveResult solve;
   std::size_t winner = std::numeric_limits<std::size_t>::max();
+  std::uint64_t exported = 0;
+  std::uint64_t imported = 0;
 };
 
 BackendResult run_backend(const cnf::Cnf& formula,
@@ -60,11 +62,14 @@ BackendResult run_backend(const cnf::Cnf& formula,
   popt.configs[0] = options.solver;
   popt.limits = options.limits;
   popt.deterministic = options.portfolio_deterministic;
+  popt.sharing = options.portfolio_sharing;
   auto r = sat::solve_portfolio(formula, popt);
   out.solve.status = r.status;
   out.solve.stats = r.stats;
   out.solve.model = std::move(r.model);
   out.winner = r.winner;
+  out.exported = r.clauses_exported;
+  out.imported = r.clauses_imported;
   return out;
 }
 
@@ -114,6 +119,8 @@ PipelineResult run_baseline(const aig::Aig& instance,
   result.status = r.solve.status;
   result.solver_stats = r.solve.stats;
   result.portfolio_winner = r.winner;
+  result.clauses_exported = r.exported;
+  result.clauses_imported = r.imported;
   if (r.solve.status == sat::Status::kSat) {
     const auto model = ef.restore(r.solve.model, enc.cnf.num_vars());
     result.witness = cnf::witness_from_model(instance, enc, model);
@@ -187,6 +194,8 @@ PipelineResult solve_instance(const aig::Aig& instance,
   result.status = r.solve.status;
   result.solver_stats = r.solve.stats;
   result.portfolio_winner = r.winner;
+  result.clauses_exported = r.exported;
+  result.clauses_imported = r.imported;
   if (r.solve.status == sat::Status::kSat) {
     const auto model = ef.restore(r.solve.model, p.cnf.num_vars());
     result.witness = lut::witness_from_model(p.netlist, p.encoding_info, model);

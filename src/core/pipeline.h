@@ -29,6 +29,7 @@
 #include "aig/aig.h"
 #include "core/preprocessor.h"
 #include "rl/dqn.h"
+#include "sat/portfolio.h"
 #include "sat/solver.h"
 
 namespace csat::core {
@@ -60,8 +61,12 @@ struct PipelineOptions {
   /// seeded by solver.seed with solver as the lead (index-0) config.
   std::size_t portfolio_size = 4;
   /// Run the portfolio without first-finisher cancellation (reproducible
-  /// winner/stats at the cost of the losers' runtime).
+  /// winner/stats at the cost of the losers' runtime; also disables clause
+  /// sharing).
   bool portfolio_deterministic = false;
+  /// Cross-worker learnt-clause sharing for kPortfolio (glue threshold,
+  /// size cap, ring capacity; see sat/portfolio.h).
+  sat::ClauseSharingOptions portfolio_sharing;
   int max_steps = 10;  ///< T
   bool normalize = true;
   /// Run the CNF-level preprocessor (SatELite/NiVER-style; cnf/simplify.h)
@@ -86,6 +91,10 @@ struct PipelineResult {
   /// the verdict; SIZE_MAX otherwise (kSingle, portfolio timeout, and
   /// trivially-SAT early exits that never reach a solver).
   std::size_t portfolio_winner = std::numeric_limits<std::size_t>::max();
+  /// Clause-sharing totals over all portfolio workers (zero for kSingle or
+  /// when sharing was disabled); solver_stats carries the winner's share.
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
   std::size_t cnf_vars = 0;
   std::size_t cnf_clauses = 0;
   std::size_t ands_before = 0;

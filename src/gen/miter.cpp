@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "gen/arith.h"
 
 namespace csat::gen {
 
@@ -37,6 +38,22 @@ aig::Aig make_miter(const Aig& a, const Aig& b) {
     any_diff = m.or2(any_diff, m.xor2(pos_a[i], pos_b[i]));
   m.add_po(any_diff);
   return m;
+}
+
+aig::Aig make_adder_miter(int width) {
+  Aig g1;
+  {
+    const Word a = input_word(g1, width);
+    const Word b = input_word(g1, width);
+    for (Lit l : ripple_carry_add(g1, a, b, aig::kFalse, true)) g1.add_po(l);
+  }
+  Aig g2;
+  {
+    const Word a = input_word(g2, width);
+    const Word b = input_word(g2, width);
+    for (Lit l : kogge_stone_add(g2, a, b, aig::kFalse, true)) g2.add_po(l);
+  }
+  return make_miter(g1, g2);
 }
 
 aig::Aig inject_bug(const Aig& g, std::uint64_t seed) {

@@ -19,6 +19,12 @@ namespace csat::gen {
 /// result is satisfiable iff the circuits differ on some input.
 aig::Aig make_miter(const aig::Aig& a, const aig::Aig& b);
 
+/// Equivalence miter of a ripple-carry against a Kogge-Stone adder of the
+/// given operand width (with carry out) — UNSAT, with difficulty scaling in
+/// \p width. The shared hard-UNSAT workhorse of the test, bench and example
+/// suites.
+aig::Aig make_adder_miter(int width);
+
 /// Copies \p g with one random local mutation (complement a fanin edge,
 /// swap an AND's input for another node, or turn AND into OR), producing a
 /// "buggy implementation" for satisfiable LEC instances. The mutation site

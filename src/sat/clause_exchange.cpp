@@ -1,0 +1,39 @@
+#include "sat/clause_exchange.h"
+
+#include <algorithm>
+
+namespace csat::sat {
+
+ClauseExchange::ClauseExchange(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void ClauseExchange::publish(std::size_t source, std::span<const Lit> lits,
+                             std::uint32_t lbd) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[ticket % capacity_];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  // When the ring wraps, the publisher holding ticket t and the one holding
+  // t + capacity race for the same slot; keep whichever clause is newer so
+  // stamps stay monotonic per slot.
+  if (slot.stamp >= ticket + 1) return;
+  slot.stamp = ticket + 1;
+  slot.source = source;
+  slot.lbd = lbd;
+  slot.lits.assign(lits.begin(), lits.end());
+}
+
+std::uint64_t clause_hash(std::span<const Lit> lits) {
+  // Commutative combine (sum of mixed literal hashes) so the hash is
+  // invariant under literal order; the length seed separates subsets.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL * (lits.size() + 1);
+  for (Lit l : lits) {
+    std::uint64_t z = l.x + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h += z ^ (z >> 31);
+  }
+  return h;
+}
+
+}  // namespace csat::sat

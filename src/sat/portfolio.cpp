@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "common/check.h"
@@ -50,6 +51,13 @@ PortfolioResult solve_portfolio(const Cnf& formula,
   std::atomic<std::size_t> winner{PortfolioResult::kNoWinner};
   std::vector<std::vector<bool>> models(n);
 
+  // Clause sharing needs a second worker to talk to, and deterministic
+  // mode forbids it (import timing depends on thread scheduling).
+  const bool share =
+      options.sharing.enabled && n > 1 && !options.deterministic;
+  std::optional<ClauseExchange> exchange;
+  if (share) exchange.emplace(options.sharing.ring_capacity);
+
   // Caller-supplied cancellation must keep working even though the workers'
   // terminate slot is taken by the internal stop flag: a watcher folds the
   // external flag into stop. (Deterministic mode passes limits through
@@ -72,6 +80,11 @@ PortfolioResult solve_portfolio(const Cnf& formula,
     Stopwatch watch;
     Solver solver(configs[i]);
     solver.add_formula(formula);
+    if (share) {
+      solver.connect_exchange(&*exchange, i,
+                              {options.sharing.max_lbd,
+                               options.sharing.max_size});
+    }
     Limits limits = options.limits;
     if (!options.deterministic) limits.terminate = &stop;
     const Status status = solver.solve(limits);
@@ -107,6 +120,10 @@ PortfolioResult solve_portfolio(const Cnf& formula,
     }
   }
   result.seconds = total.seconds();
+  for (const WorkerOutcome& w : result.workers) {
+    result.clauses_exported += w.stats.exported;
+    result.clauses_imported += w.stats.imported;
+  }
   if (win == PortfolioResult::kNoWinner) {
     // Budget exhausted with no verdict: report the lead worker's stats so
     // budgeted runs show real search effort, comparable to a single solve

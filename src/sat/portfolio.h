@@ -5,15 +5,19 @@
 /// Multi-threaded portfolio solving: race N diversified CDCL configurations
 /// on the same formula, first definitive answer wins.
 ///
-/// Each worker runs a private Solver (the solver itself is single-threaded
-/// and shares nothing), so the only cross-thread traffic is the one atomic
-/// stop flag wired through Limits::terminate plus the winner election.
-/// Because every configuration is a sound decision procedure, whichever
-/// worker finishes first yields the same SAT/UNSAT verdict any other would
+/// Each worker runs a private Solver; cross-thread traffic is the atomic
+/// stop flag wired through Limits::terminate, the winner election, and —
+/// when sharing is enabled — a bounded clause-exchange ring
+/// (sat/clause_exchange.h) through which workers publish low-LBD learnt
+/// clauses and import each other's at restart boundaries (HordeSat-style).
+/// Because every configuration is a sound decision procedure and every
+/// shared clause is implied by the common formula, whichever worker
+/// finishes first yields the same SAT/UNSAT verdict any other would
 /// eventually reach — the race affects wall-clock time and the witnessing
-/// model, never the answer. With `deterministic` set, cancellation is
-/// disabled and the lowest-index definitive worker is reported, making the
-/// full result (winner, stats, model) a pure function of formula + options.
+/// model, never the answer. With `deterministic` set, cancellation AND
+/// clause sharing are disabled and the lowest-index definitive worker is
+/// reported, making the full result (winner, stats, model) a pure function
+/// of formula + options.
 
 #include <cstddef>
 #include <cstdint>
@@ -21,9 +25,25 @@
 #include <vector>
 
 #include "cnf/cnf.h"
+#include "sat/clause_exchange.h"
 #include "sat/solver.h"
 
 namespace csat::sat {
+
+struct ClauseSharingOptions {
+  /// Master switch. Even when true, sharing is suppressed for 1-worker
+  /// portfolios (nothing to share with) and in deterministic mode (import
+  /// timing depends on thread scheduling, which would break bit-for-bit
+  /// reproducibility; see PortfolioOptions::deterministic).
+  bool enabled = true;
+  /// Only learnt clauses with LBD <= max_lbd are exported ("glue" sharing).
+  std::uint32_t max_lbd = 2;
+  /// ... and with at most this many literals.
+  std::uint32_t max_size = 8;
+  /// Export ring slots; producers overwrite the oldest clause when a
+  /// consumer lags more than this many publications behind.
+  std::size_t ring_capacity = 1 << 12;
+};
 
 struct PortfolioOptions {
   /// Configurations to race; when empty, default_portfolio(num_workers,
@@ -38,8 +58,11 @@ struct PortfolioOptions {
   Limits limits;
   /// Disable first-finisher cancellation: every worker runs to its own
   /// verdict or budget, and the lowest-index definitive worker is the
-  /// winner. Reproducible bit-for-bit; costs the losers' runtime.
+  /// winner. Reproducible bit-for-bit; costs the losers' runtime and
+  /// disables clause sharing.
   bool deterministic = false;
+  /// Cross-worker learnt-clause sharing (on by default for real races).
+  ClauseSharingOptions sharing;
 };
 
 /// Diversified configuration family: alternating kissat-like / cadical-like
@@ -68,8 +91,12 @@ struct PortfolioResult {
   Stats stats;
   /// Winner's model when status == kSat.
   std::vector<bool> model;
-  /// Per-worker outcomes, aligned with the raced configs.
+  /// Per-worker outcomes, aligned with the raced configs. Each worker's
+  /// stats carry its exported/imported clause counts when sharing ran.
   std::vector<WorkerOutcome> workers;
+  /// Totals over all workers (zero when sharing was disabled).
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
   double seconds = 0.0;
 };
 

@@ -37,23 +37,22 @@ void Solver::add_formula(const Cnf& formula) {
   }
 }
 
-bool Solver::add_clause(std::span<const Lit> lits) {
-  if (!ok_) return false;
-  CSAT_CHECK_MSG(decision_level() == 0, "clauses must be added at level 0");
-
-  // Normalize: sort, drop duplicates and false@0 literals, detect tautology
-  // and satisfied@0 clauses.
-  std::vector<Lit> c(lits.begin(), lits.end());
+Solver::RootNorm Solver::normalize_at_root(std::span<const Lit> lits,
+                                           std::vector<Lit>& out) {
+  CSAT_DCHECK(decision_level() == 0);
+  std::vector<Lit>& c = norm_scratch_;
+  c.assign(lits.begin(), lits.end());
   std::sort(c.begin(), c.end());
-  std::vector<Lit> out;
+  out.clear();
   out.reserve(c.size());
   Lit prev = kLitUndef;
   for (Lit l : c) {
     CSAT_CHECK(l.var() < num_vars());
     if (l == prev) continue;
-    if (prev != kLitUndef && l == !prev) return true;  // tautology
+    if (prev != kLitUndef && l == !prev) return RootNorm::kRedundant;  // tautology
     const std::uint8_t v = value(l);
-    if (v == kTrue && level_[l.var()] == 0) return true;  // satisfied at root
+    if (v == kTrue && level_[l.var()] == 0)
+      return RootNorm::kRedundant;  // satisfied at root
     if (v == kFalse && level_[l.var()] == 0) {
       prev = l;
       continue;  // falsified at root: drop literal
@@ -61,10 +60,22 @@ bool Solver::add_clause(std::span<const Lit> lits) {
     out.push_back(l);
     prev = l;
   }
+  return out.empty() ? RootNorm::kEmpty : RootNorm::kClause;
+}
 
-  if (out.empty()) {
-    ok_ = false;
-    return false;
+bool Solver::add_clause(std::span<const Lit> lits) {
+  if (!ok_) return false;
+  CSAT_CHECK_MSG(decision_level() == 0, "clauses must be added at level 0");
+
+  std::vector<Lit> out;
+  switch (normalize_at_root(lits, out)) {
+    case RootNorm::kRedundant:
+      return true;
+    case RootNorm::kEmpty:
+      ok_ = false;
+      return false;
+    case RootNorm::kClause:
+      break;
   }
   if (out.size() == 1) {
     if (value(out[0]) == kFalse) {
@@ -439,6 +450,68 @@ void Solver::reduce_db() {
   }
 }
 
+// --- clause sharing ----------------------------------------------------------
+
+void Solver::connect_exchange(ClauseExchange* exchange, std::size_t worker_id,
+                              SharingLimits sharing) {
+  exchange_ = exchange;
+  exchange_id_ = worker_id;
+  sharing_ = sharing;
+  exchange_cursor_ = {};
+  shared_hashes_.clear();
+}
+
+void Solver::export_clause(std::span<const Lit> lits, std::uint32_t lbd) {
+  CSAT_DCHECK(exchange_ != nullptr);
+  if (lbd > sharing_.max_lbd || lits.size() > sharing_.max_size) return;
+  if (shared_hashes_.size() >= kMaxSharedHashes) shared_hashes_.clear();
+  if (!shared_hashes_.insert(clause_hash(lits)).second) return;
+  exchange_->publish(exchange_id_, lits, lbd);
+  ++stats_.exported;
+}
+
+/// Attaches one foreign clause at decision level 0: normalize against the
+/// root assignment exactly like add_clause(), but keep the clause learnt
+/// (with its original LBD) so database reduction can still discard it.
+void Solver::import_one(std::span<const Lit> lits, std::uint32_t lbd) {
+  if (!ok_) return;
+  if (shared_hashes_.size() >= kMaxSharedHashes) shared_hashes_.clear();
+  if (!shared_hashes_.insert(clause_hash(lits)).second) return;  // duplicate
+
+  std::vector<Lit> out;
+  switch (normalize_at_root(lits, out)) {
+    case RootNorm::kRedundant:
+      return;
+    case RootNorm::kEmpty:
+      ok_ = false;
+      return;
+    case RootNorm::kClause:
+      break;
+  }
+  ++stats_.imported;
+  if (out.size() == 1) {
+    if (value(out[0]) == kFalse)
+      ok_ = false;
+    else if (value(out[0]) == kUnknown)
+      enqueue(out[0], kNoReason);
+    return;
+  }
+  attach_clause(std::move(out), /*learnt=*/true, std::max(lbd, 1u));
+}
+
+bool Solver::import_clauses() {
+  if (exchange_ == nullptr || !ok_) return ok_;
+  CSAT_CHECK_MSG(decision_level() == 0, "imports happen at level 0 only");
+  const auto drained = exchange_->drain(
+      exchange_cursor_, exchange_id_,
+      [this](std::span<const Lit> lits, std::uint32_t lbd, std::size_t) {
+        import_one(lits, lbd);
+      });
+  stats_.import_lost += drained.lost;
+  if (ok_ && propagate() != kNoReason) ok_ = false;
+  return ok_;
+}
+
 // --- main search -------------------------------------------------------------
 
 Status Solver::solve(const Limits& limits) {
@@ -449,6 +522,7 @@ Status Solver::solve(const Limits& limits) {
     ok_ = false;
     return Status::kUnsat;
   }
+  if (!import_clauses()) return Status::kUnsat;
 
   conflicts_at_restart_ = stats_.conflicts;
   luby_index_ = 0;
@@ -481,6 +555,7 @@ Status Solver::solve(const Limits& limits) {
         const ClauseRef cref = attach_clause(learnt, /*learnt=*/true, lbd);
         enqueue(learnt[0], cref);
       }
+      if (exchange_ != nullptr) export_clause(learnt, lbd);
       decay_var_activity();
       decay_clause_activity();
       on_conflict_for_restart(lbd);
@@ -505,6 +580,7 @@ Status Solver::solve(const Limits& limits) {
     if (should_restart()) {
       ++stats_.restarts;
       backtrack(0);
+      if (!import_clauses()) return Status::kUnsat;
       conflicts_at_restart_ = stats_.conflicts;
       if (config_.restarts == SolverConfig::Restarts::kLuby)
         luby_budget_ = luby(++luby_index_) * config_.luby_unit;

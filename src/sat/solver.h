@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "cnf/cnf.h"
+#include "sat/clause_exchange.h"
 
 namespace csat::sat {
 
@@ -94,6 +96,20 @@ struct Stats {
   std::uint64_t removed = 0;
   std::uint64_t minimized_lits = 0;
   std::uint64_t max_decision_level = 0;
+  /// Clause sharing (zero unless connected to a ClauseExchange).
+  std::uint64_t exported = 0;  ///< learnt clauses published to the exchange
+  std::uint64_t imported = 0;  ///< foreign clauses attached to this solver
+  /// Ring publications that lapped this worker's import cursor before it
+  /// drained them (the publisher is unknowable once the slot is reused, so
+  /// this includes the worker's own exports).
+  std::uint64_t import_lost = 0;
+};
+
+/// Per-worker clause-sharing filter: only learnt clauses at most this glue
+/// and size are published to the exchange.
+struct SharingLimits {
+  std::uint32_t max_lbd = 2;
+  std::uint32_t max_size = 8;
 };
 
 struct Limits {
@@ -135,6 +151,23 @@ class Solver {
   /// (e.g. one fault-site assumption set per ATPG query).
   Status solve_assuming(std::span<const Lit> assumptions,
                         const Limits& limits = {});
+
+  /// Connects this solver to a portfolio clause exchange as worker
+  /// \p worker_id. Learnt clauses passing \p sharing are published after
+  /// conflict analysis; foreign clauses are drained by import_clauses() at
+  /// restart boundaries (and at solve() entry). Pass nullptr to disconnect.
+  /// Every clause moved either way is implied by the common input formula,
+  /// so sharing never changes SAT/UNSAT verdicts — only search effort.
+  void connect_exchange(ClauseExchange* exchange, std::size_t worker_id,
+                        SharingLimits sharing = {});
+
+  /// Drains foreign clauses from the connected exchange into the clause
+  /// database (attached as learnt, deduplicated by clause hash, simplified
+  /// against the level-0 assignment). Must be called at decision level 0;
+  /// solve() does so automatically at every restart. Returns false when an
+  /// imported clause (or the propagation it triggers) proves the formula
+  /// UNSAT at the root.
+  bool import_clauses();
 
   /// Complete model (indexed by variable) — valid after Status::kSat.
   [[nodiscard]] const std::vector<bool>& model() const { return model_; }
@@ -191,6 +224,11 @@ class Solver {
   }
 
   // --- clause DB ---
+  /// Level-0 clause normalization shared by add_clause() and import_one():
+  /// sort, drop duplicate and root-falsified literals, detect tautologies
+  /// and root-satisfied clauses (kRedundant) and the empty clause (kEmpty).
+  enum class RootNorm { kRedundant, kEmpty, kClause };
+  RootNorm normalize_at_root(std::span<const Lit> lits, std::vector<Lit>& out);
   ClauseRef attach_clause(std::vector<Lit> lits, bool learnt, std::uint32_t lbd);
   void detach_clause(ClauseRef cref);
   void bump_clause(Clause& c);
@@ -200,6 +238,10 @@ class Solver {
   // --- restarts ---
   [[nodiscard]] bool should_restart() const;
   void on_conflict_for_restart(std::uint32_t lbd);
+
+  // --- clause sharing ---
+  void export_clause(std::span<const Lit> lits, std::uint32_t lbd);
+  void import_one(std::span<const Lit> lits, std::uint32_t lbd);
 
   SolverConfig config_;
   Stats stats_;
@@ -238,6 +280,21 @@ class Solver {
   // reduction state
   std::uint64_t reduce_budget_ = 0;
   std::uint64_t reduce_count_ = 0;
+
+  // clause-sharing state
+  ClauseExchange* exchange_ = nullptr;
+  std::size_t exchange_id_ = 0;
+  SharingLimits sharing_;
+  ClauseExchange::Cursor exchange_cursor_;
+  /// Hashes of clauses this solver already published or imported, so the
+  /// same clause (normally) never crosses the exchange twice for this
+  /// worker. Cleared when it reaches kMaxSharedHashes: dedup is
+  /// best-effort — a duplicate that slips through is just a redundant
+  /// learnt clause the next reduce_db() can delete — and the set must not
+  /// grow without bound on long runs with loose sharing filters.
+  static constexpr std::size_t kMaxSharedHashes = 1u << 20;
+  std::unordered_set<std::uint64_t> shared_hashes_;
+  std::vector<Lit> norm_scratch_;
 
   std::uint64_t rng_state_;
   std::vector<bool> model_;

@@ -9,7 +9,6 @@
 #include "common/rng.h"
 #include "core/batch_runner.h"
 #include "core/pipeline.h"
-#include "gen/arith.h"
 #include "gen/miter.h"
 #include "gen/suite.h"
 #include "sat/portfolio.h"
@@ -19,24 +18,12 @@
 namespace csat {
 namespace {
 
+using test::check_model;
 using test::pigeonhole;
 using test::random_3sat;
 
 cnf::Cnf adder_miter_cnf(int width) {
-  aig::Aig g1, g2;
-  {
-    const auto a = gen::input_word(g1, width);
-    const auto b = gen::input_word(g1, width);
-    for (aig::Lit l : gen::ripple_carry_add(g1, a, b, aig::kFalse, true))
-      g1.add_po(l);
-  }
-  {
-    const auto a = gen::input_word(g2, width);
-    const auto b = gen::input_word(g2, width);
-    for (aig::Lit l : gen::kogge_stone_add(g2, a, b, aig::kFalse, true))
-      g2.add_po(l);
-  }
-  return cnf::tseitin_encode(gen::make_miter(g1, g2)).cnf;
+  return cnf::tseitin_encode(gen::make_adder_miter(width)).cnf;
 }
 
 bool stats_equal(const sat::Stats& a, const sat::Stats& b) {
@@ -100,9 +87,10 @@ TEST(SolverTermination, BudgetedSatInstanceResumesToModel) {
   if (first == sat::Status::kUnknown) {
     const sat::Status second = solver.solve();
     ASSERT_EQ(second, sat::Status::kSat);
-    EXPECT_TRUE(f.satisfied_by(solver.model()));
+    EXPECT_TRUE(check_model(f, solver.model()));
   } else {
     EXPECT_EQ(first, sat::Status::kSat);
+    EXPECT_TRUE(check_model(f, solver.model()));
   }
 }
 
@@ -136,6 +124,10 @@ TEST(Portfolio, DeterministicModeIsReproducible) {
   ASSERT_NE(r1.status, sat::Status::kUnknown);
   EXPECT_EQ(r1.status, r2.status);
   EXPECT_EQ(r1.winner, r2.winner);
+  if (r1.status == sat::Status::kSat) {
+    EXPECT_TRUE(check_model(f, r1.model));
+    EXPECT_TRUE(check_model(f, r2.model));
+  }
   EXPECT_TRUE(stats_equal(r1.stats, r2.stats));
   EXPECT_EQ(r1.model, r2.model);
   // Every worker ran to completion and is individually reproducible.
@@ -196,7 +188,7 @@ TEST(Portfolio, AgreementAcrossConfigsOnCraftedFamilies) {
       EXPECT_EQ(r.workers[wi].status, families[fi].expected)
           << "family " << fi << " worker " << wi;
     if (r.status == sat::Status::kSat) {
-      EXPECT_TRUE(families[fi].formula.satisfied_by(r.model)) << fi;
+      EXPECT_TRUE(check_model(families[fi].formula, r.model)) << fi;
     }
   }
 }
@@ -227,6 +219,107 @@ TEST(Portfolio, ExternalTerminateCancelsWholeRace) {
   race.join();
   EXPECT_EQ(r.status, sat::Status::kUnknown);
   EXPECT_EQ(r.winner, sat::PortfolioResult::kNoWinner);
+}
+
+// --- clause sharing ---------------------------------------------------------
+
+TEST(ClauseSharing, VerdictsAgreeWithAndWithoutSharing) {
+  struct Family {
+    cnf::Cnf formula;
+    sat::Status expected;
+  };
+  std::vector<Family> families;
+  families.push_back({pigeonhole(6), sat::Status::kUnsat});
+  families.push_back({adder_miter_cnf(6), sat::Status::kUnsat});
+  families.push_back({random_3sat(80, 300, 9), sat::Status::kSat});
+  for (std::size_t fi = 0; fi < families.size(); ++fi) {
+    for (const bool share : {false, true}) {
+      sat::PortfolioOptions opt;
+      opt.num_workers = 4;
+      opt.sharing.enabled = share;
+      const auto r = sat::solve_portfolio(families[fi].formula, opt);
+      EXPECT_EQ(r.status, families[fi].expected)
+          << "family " << fi << " sharing " << share;
+      if (r.status == sat::Status::kSat) {
+        EXPECT_TRUE(check_model(families[fi].formula, r.model)) << fi;
+      }
+      if (!share) {
+        EXPECT_EQ(r.clauses_exported, 0u);
+        EXPECT_EQ(r.clauses_imported, 0u);
+      }
+    }
+  }
+}
+
+TEST(ClauseSharing, HardUnsatInstanceActuallySharesClauses) {
+  // Pigeonhole(7) forces thousands of conflicts and many restarts in every
+  // worker, so glue clauses must both leave and enter the exchange.
+  const cnf::Cnf f = pigeonhole(7);
+  sat::PortfolioOptions opt;
+  opt.num_workers = 4;
+  const auto r = sat::solve_portfolio(f, opt);
+  EXPECT_EQ(r.status, sat::Status::kUnsat);
+  EXPECT_GT(r.clauses_exported, 0u);
+  EXPECT_GT(r.clauses_imported, 0u);
+  std::uint64_t exported = 0;
+  std::uint64_t imported = 0;
+  for (const auto& w : r.workers) {
+    exported += w.stats.exported;
+    imported += w.stats.imported;
+  }
+  EXPECT_EQ(r.clauses_exported, exported);
+  EXPECT_EQ(r.clauses_imported, imported);
+}
+
+TEST(ClauseSharing, DeterministicModeDisablesSharing) {
+  const cnf::Cnf f = pigeonhole(6);
+  sat::PortfolioOptions opt;
+  opt.num_workers = 4;
+  opt.deterministic = true;
+  opt.sharing.enabled = true;  // requested, but deterministic wins
+  const auto r = sat::solve_portfolio(f, opt);
+  EXPECT_EQ(r.status, sat::Status::kUnsat);
+  EXPECT_EQ(r.clauses_exported, 0u);
+  EXPECT_EQ(r.clauses_imported, 0u);
+  // Workers behave exactly like isolated solvers: same stats as a plain
+  // sequential run of the lead config.
+  const auto single = sat::solve_cnf(f, sat::SolverConfig::kissat_like());
+  EXPECT_TRUE(stats_equal(r.workers[0].stats, single.stats));
+}
+
+TEST(ClauseSharing, SingleWorkerPortfolioNeverShares) {
+  const cnf::Cnf f = random_3sat(60, 200, 13);
+  sat::PortfolioOptions opt;
+  opt.num_workers = 1;
+  opt.sharing.enabled = true;
+  const auto r = sat::solve_portfolio(f, opt);
+  ASSERT_NE(r.status, sat::Status::kUnknown);
+  EXPECT_EQ(r.clauses_exported, 0u);
+  EXPECT_EQ(r.clauses_imported, 0u);
+  if (r.status == sat::Status::kSat) {
+    EXPECT_TRUE(check_model(f, r.model));
+  }
+}
+
+TEST(ClauseSharing, SolverImportApiIsSoundStandalone) {
+  // Drive import_clauses() directly: a producer solver learns clauses on a
+  // hard formula and a consumer imports them mid-search.
+  const cnf::Cnf f = pigeonhole(6);
+  sat::ClauseExchange exchange(512);
+  sat::Solver producer;
+  producer.add_formula(f);
+  producer.connect_exchange(&exchange, 0);
+  EXPECT_EQ(producer.solve(), sat::Status::kUnsat);
+  EXPECT_GT(producer.stats().exported, 0u);
+  EXPECT_EQ(exchange.published(), producer.stats().exported);
+
+  sat::Solver consumer;
+  consumer.add_formula(f);
+  consumer.connect_exchange(&exchange, 1);
+  EXPECT_TRUE(consumer.import_clauses());
+  EXPECT_GT(consumer.stats().imported, 0u);
+  // Foreign clauses are implied: the verdict is unchanged.
+  EXPECT_EQ(consumer.solve(), sat::Status::kUnsat);
 }
 
 // --- batch runner -----------------------------------------------------------

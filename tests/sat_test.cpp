@@ -28,6 +28,7 @@ bool brute_force_sat(const Cnf& f) {
   return false;
 }
 
+using test::check_model;
 using test::pigeonhole;
 using test::random_3sat;
 
@@ -39,7 +40,9 @@ TEST(Luby, FirstElements) {
 
 TEST(Solver, EmptyFormulaIsSat) {
   Cnf f;
-  EXPECT_EQ(solve_cnf(f).status, Status::kSat);
+  const auto r = solve_cnf(f);
+  EXPECT_EQ(r.status, Status::kSat);
+  EXPECT_TRUE(check_model(f, r.model));
 }
 
 TEST(Solver, UnitAndConflictingUnits) {
@@ -49,6 +52,7 @@ TEST(Solver, UnitAndConflictingUnits) {
   auto r = solve_cnf(f);
   EXPECT_EQ(r.status, Status::kSat);
   EXPECT_TRUE(r.model[v]);
+  EXPECT_TRUE(check_model(f, r.model));
 
   f.add_unit(neg(v));
   EXPECT_EQ(solve_cnf(f).status, Status::kUnsat);
@@ -61,7 +65,9 @@ TEST(Solver, TautologyAndDuplicatesAreHarmless) {
   f.add_clause({pos(a), neg(a)});          // tautology
   f.add_clause({pos(a), pos(a), pos(b)});  // duplicate literal
   f.add_binary(neg(a), neg(b));
-  EXPECT_EQ(solve_cnf(f).status, Status::kSat);
+  const auto r = solve_cnf(f);
+  EXPECT_EQ(r.status, Status::kSat);
+  EXPECT_TRUE(check_model(f, r.model));
 }
 
 TEST(Solver, EmptyClauseIsUnsat) {
@@ -127,6 +133,10 @@ TEST(Solver, StatsAreDeterministicForFixedSeed) {
   const auto r1 = solve_cnf(f, SolverConfig::kissat_like());
   const auto r2 = solve_cnf(f, SolverConfig::kissat_like());
   EXPECT_EQ(r1.status, r2.status);
+  if (r1.status == Status::kSat) {
+    EXPECT_TRUE(check_model(f, r1.model));
+    EXPECT_TRUE(check_model(f, r2.model));
+  }
   EXPECT_EQ(r1.stats.decisions, r2.stats.decisions);
   EXPECT_EQ(r1.stats.conflicts, r2.stats.conflicts);
   EXPECT_EQ(r1.stats.propagations, r2.stats.propagations);
@@ -137,6 +147,7 @@ TEST(Solver, DecisionsAreCountedOnSatisfiableInstances) {
   const auto r = solve_cnf(f);
   if (r.status == Status::kSat) {
     EXPECT_GT(r.stats.decisions, 0u);
+    EXPECT_TRUE(check_model(f, r.model));
   }
 }
 
@@ -155,10 +166,10 @@ TEST_P(RandomCnfCrossCheck, MatchesBruteForce) {
       const auto r = solve_cnf(f, cfg);
       EXPECT_EQ(r.status == Status::kSat, expected)
           << "vars=" << vars << " clauses=" << clauses << " iter=" << i;
-      // solve_cnf internally CSAT_CHECKs the model; re-check here for the
-      // test report.
+      // solve_cnf internally CSAT_CHECKs the model; re-check against the
+      // original formula for the test report.
       if (r.status == Status::kSat) {
-        EXPECT_TRUE(f.satisfied_by(r.model));
+        EXPECT_TRUE(check_model(f, r.model));
       }
     }
   }
@@ -172,19 +183,31 @@ TEST(Solver, RandomDecisionsStillSound) {
   Rng rng(99);
   for (int i = 0; i < 10; ++i) {
     const Cnf f = random_3sat(14, 55, rng.next_u64());
-    EXPECT_EQ(solve_cnf(f, cfg).status == Status::kSat, brute_force_sat(f));
+    const auto r = solve_cnf(f, cfg);
+    EXPECT_EQ(r.status == Status::kSat, brute_force_sat(f));
+    if (r.status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, r.model));
+    }
   }
 }
 
 TEST(Solver, IncrementalClauseAdditionAfterSolve) {
+  // Mirror the incrementally added clauses in a Cnf so every SAT model can
+  // be checked against the formula as it stood at that solve.
   Solver s;
+  Cnf f;
   const auto a = s.new_var();
   const auto b = s.new_var();
+  f.add_vars(2);
   ASSERT_TRUE(s.add_clause({pos(a), pos(b)}));
+  f.add_binary(pos(a), pos(b));
   EXPECT_EQ(s.solve(), Status::kSat);
+  EXPECT_TRUE(check_model(f, s.model()));
   ASSERT_TRUE(s.add_clause({neg(a)}));
+  f.add_unit(neg(a));
   EXPECT_EQ(s.solve(), Status::kSat);
   EXPECT_TRUE(s.model()[b]);
+  EXPECT_TRUE(check_model(f, s.model()));
   s.add_clause({neg(b)});
   EXPECT_EQ(s.solve(), Status::kUnsat);
 }

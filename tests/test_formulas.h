@@ -6,6 +6,8 @@
 /// in random_3sat() stable: the fixed-seed suites depend on reproducing the
 /// exact same formulas run-to-run.
 
+#include <gtest/gtest.h>
+
 #include <cstdint>
 #include <vector>
 
@@ -13,6 +15,35 @@
 #include "common/rng.h"
 
 namespace csat::test {
+
+/// Model checker for SAT verdicts: evaluates \p model against every clause
+/// of the *original* formula and reports the first violated clause. Every
+/// test that receives Status::kSat must pass the returned assignment
+/// through this — no solver verdict is trusted unchecked.
+inline ::testing::AssertionResult check_model(const cnf::Cnf& formula,
+                                              const std::vector<bool>& model) {
+  if (model.size() < formula.num_vars()) {
+    return ::testing::AssertionFailure()
+           << "model covers " << model.size() << " vars, formula has "
+           << formula.num_vars();
+  }
+  for (std::size_t i = 0; i < formula.num_clauses(); ++i) {
+    bool satisfied = false;
+    for (cnf::Lit l : formula.clause(i)) {
+      if (model[l.var()] != l.sign()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      auto failure = ::testing::AssertionFailure()
+                     << "clause " << i << " falsified by model:";
+      for (cnf::Lit l : formula.clause(i)) failure << ' ' << l.to_dimacs();
+      return failure;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
 
 /// Pigeonhole principle PHP(holes+1, holes): always UNSAT, and
 /// resolution-hard, so runtime scales steeply with \p holes.
