@@ -2,12 +2,24 @@
 // whose decision counter drives the RL reward and whose runtime dominates
 // the paper's evaluation. Covers both presets (kissat-like, cadical-like)
 // on representative families: random 3-SAT near threshold, pigeonhole
-// (UNSAT, resolution-hard) and an adder-equivalence miter CNF.
+// (UNSAT, resolution-hard) and an adder-equivalence miter CNF. Every
+// sequential benchmark reports props/sec — the BCP throughput the clause
+// arena / watcher layout is tuned for.
+//
+// `sat_micro --smoke` bypasses Google Benchmark and runs a fixed CI gate:
+// representative instances must finish with the right verdict and above a
+// conservative propagation-throughput floor, so pathological BCP
+// slowdowns fail CI instead of only showing up in manual bench runs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
 #include "cnf/tseitin.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "gen/miter.h"
 #include "sat/portfolio.h"
 #include "sat/solver.h"
@@ -64,40 +76,41 @@ sat::SolverConfig preset(int index) {
                     : sat::SolverConfig::cadical_like();
 }
 
-void report_stats(benchmark::State& state, const sat::SolveResult& r) {
+void report_stats(benchmark::State& state, const sat::SolveResult& r,
+                  double total_propagations) {
   state.counters["decisions"] = static_cast<double>(r.stats.decisions);
   state.counters["conflicts"] = static_cast<double>(r.stats.conflicts);
   state.counters["propagations"] = static_cast<double>(r.stats.propagations);
+  // Propagation throughput across all iterations: the headline number for
+  // the clause-arena / watcher-layout work (kIsRate divides by CPU time).
+  state.counters["props/sec"] =
+      benchmark::Counter(total_propagations, benchmark::Counter::kIsRate);
+}
+
+void run_sequential_case(benchmark::State& state, const cnf::Cnf& f) {
+  sat::SolveResult last;
+  double props = 0.0;
+  for (auto _ : state) {
+    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
+    props += static_cast<double>(last.stats.propagations);
+    benchmark::DoNotOptimize(last.status);
+  }
+  report_stats(state, last, props);
 }
 
 void BM_Random3SatNearThreshold(benchmark::State& state) {
   const cnf::Cnf f = random_3sat(static_cast<int>(state.range(0)), 4.26, 42);
-  sat::SolveResult last;
-  for (auto _ : state) {
-    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
-    benchmark::DoNotOptimize(last.status);
-  }
-  report_stats(state, last);
+  run_sequential_case(state, f);
 }
 
 void BM_Pigeonhole(benchmark::State& state) {
   const cnf::Cnf f = pigeonhole(static_cast<int>(state.range(0)));
-  sat::SolveResult last;
-  for (auto _ : state) {
-    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
-    benchmark::DoNotOptimize(last.status);
-  }
-  report_stats(state, last);
+  run_sequential_case(state, f);
 }
 
 void BM_AdderMiterUnsat(benchmark::State& state) {
   const cnf::Cnf f = adder_miter_cnf(static_cast<int>(state.range(0)));
-  sat::SolveResult last;
-  for (auto _ : state) {
-    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
-    benchmark::DoNotOptimize(last.status);
-  }
-  report_stats(state, last);
+  run_sequential_case(state, f);
 }
 
 // --- portfolio clause sharing on/off ----------------------------------------
@@ -129,6 +142,72 @@ void BM_PortfolioAdderMiter(benchmark::State& state) {
   run_portfolio_case(state, f);
 }
 
+// --- `--smoke` CI gate ------------------------------------------------------
+
+struct SmokeCase {
+  const char* name;
+  cnf::Cnf formula;
+  sat::Status expected;
+};
+
+/// Release-mode BCP regression gate, registered as a CTest. Solves a fixed
+/// instance set with both presets, requires the right verdicts, and fails
+/// when aggregate propagation throughput drops below a floor that is ~4x
+/// under current hardware numbers — generous enough for loaded CI runners,
+/// tight enough that an accidental O(n) watch scan or arena pessimization
+/// trips it. Override with CSAT_SMOKE_MIN_PROPS_PER_SEC (0 disables).
+int run_smoke() {
+  double min_props_per_sec = 250e3;
+  if (const char* env = std::getenv("CSAT_SMOKE_MIN_PROPS_PER_SEC"))
+    min_props_per_sec = std::atof(env);
+
+  SmokeCase cases[] = {
+      {"pigeonhole(7)", pigeonhole(7), sat::Status::kUnsat},
+      {"pigeonhole(8)", pigeonhole(8), sat::Status::kUnsat},
+      {"adder_miter(16)", adder_miter_cnf(16), sat::Status::kUnsat},
+      {"random3sat(100)", random_3sat(100, 4.26, 42), sat::Status::kUnknown},
+  };
+
+  int failures = 0;
+  std::uint64_t total_props = 0;
+  double total_seconds = 0.0;
+  for (SmokeCase& c : cases) {
+    sat::Status verdicts[2];
+    for (int p = 0; p < 2; ++p) {
+      Stopwatch watch;
+      const auto r = sat::solve_cnf(c.formula, preset(p));
+      const double secs = watch.seconds();
+      total_props += r.stats.propagations;
+      total_seconds += secs;
+      verdicts[p] = r.status;
+      std::printf("smoke %-16s preset=%d verdict=%d %8.1f ms %9llu props\n",
+                  c.name, p, static_cast<int>(r.status), secs * 1e3,
+                  static_cast<unsigned long long>(r.stats.propagations));
+      if (c.expected != sat::Status::kUnknown && r.status != c.expected) {
+        std::printf("FAIL: %s preset=%d returned the wrong verdict\n", c.name, p);
+        ++failures;
+      }
+    }
+    // Families without a pinned expectation still must be internally
+    // consistent across presets.
+    if (verdicts[0] != verdicts[1]) {
+      std::printf("FAIL: %s presets disagree\n", c.name);
+      ++failures;
+    }
+  }
+
+  const double props_per_sec =
+      total_seconds > 0.0 ? static_cast<double>(total_props) / total_seconds : 0.0;
+  std::printf("smoke total: %.3f s, %llu props, %.2f Mprops/sec (floor %.2f)\n",
+              total_seconds, static_cast<unsigned long long>(total_props),
+              props_per_sec / 1e6, min_props_per_sec / 1e6);
+  if (min_props_per_sec > 0.0 && props_per_sec < min_props_per_sec) {
+    std::printf("FAIL: propagation throughput below floor\n");
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 BENCHMARK(BM_Random3SatNearThreshold)
@@ -141,6 +220,8 @@ BENCHMARK(BM_Pigeonhole)
     ->Args({6, 0})
     ->Args({6, 1})
     ->Args({7, 0})
+    ->Args({8, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AdderMiterUnsat)
     ->Args({8, 0})
@@ -163,4 +244,12 @@ BENCHMARK(BM_PortfolioAdderMiter)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--smoke") return run_smoke();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,144 @@
+#ifndef CSAT_SAT_ARENA_H
+#define CSAT_SAT_ARENA_H
+
+/// \file arena.h
+/// Flat clause arena for the CDCL solver.
+///
+/// Every clause of three or more literals lives in one contiguous
+/// std::uint32_t buffer as a 3-word header followed by its literals, and is
+/// addressed by a ClauseRef — the word offset of its header:
+///
+///   word 0   size (number of literals)
+///   word 1   flags (learnt / garbage / moved / protected) | LBD << 8
+///   word 2   activity (float, bit-cast) — reused as the forwarding
+///            address while a mark-compact collection is in flight
+///   word 3…  the literals (Lit::x values)
+///
+/// Rationale: BCP visits clauses in watch-list order; with a
+/// vector<Clause>-of-vector<Lit> store each visit chases two unrelated heap
+/// allocations. Here header and literals share one cache line for short
+/// clauses and the whole database is sequential memory, so clause visits
+/// and full-database scans (conflict analysis, reduction) are prefetchable
+/// linear reads. Binary clauses never enter the arena at all — the solver
+/// inlines them in its watch lists (the other literal *is* the watcher).
+///
+/// Clause handles (ClauseArena::Clause) are raw-pointer views and are
+/// invalidated by alloc() and compact(); never hold one across either.
+///
+/// Garbage collection is mark-compact: the solver marks clauses garbage
+/// (mark_garbage), then compact() copies the survivors into fresh storage
+/// in address order — preserving allocation order, so ClauseRef comparisons
+/// stay meaningful — and leaves a forwarding reference in each old header.
+/// The solver remaps its watchers / reasons / learnt list through
+/// forwarded() and finally drops the old buffer with compact_release().
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/cnf.h"
+#include "common/check.h"
+
+namespace csat::sat {
+
+using cnf::Lit;
+
+/// Word offset of a clause header in the arena.
+using ClauseRef = std::uint32_t;
+/// "No clause": unit/decision reasons, absent conflicts.
+inline constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
+/// Tag for binary clauses, which live inline in watch lists and reason
+/// slots (the other literal is stored beside the tag) and have no arena
+/// storage.
+inline constexpr ClauseRef kClauseRefBinary = 0xFFFFFFFEu;
+
+class ClauseArena {
+ public:
+  static constexpr std::uint32_t kHeaderWords = 3;
+  static constexpr std::uint32_t kMaxLbd = (1u << 24) - 1;
+
+  /// Mutable view of one clause. Invalidated by alloc() and compact().
+  class Clause {
+   public:
+    explicit Clause(std::uint32_t* base) : base_(base) {}
+
+    [[nodiscard]] std::uint32_t size() const { return base_[kSizeWord]; }
+    [[nodiscard]] Lit& operator[](std::uint32_t i) {
+      CSAT_DCHECK(i < size());
+      return lits()[i];
+    }
+    [[nodiscard]] std::span<Lit> lits() {
+      return {reinterpret_cast<Lit*>(base_ + kHeaderWords), size()};
+    }
+
+    [[nodiscard]] bool learnt() const { return (flags() & kLearntFlag) != 0; }
+    [[nodiscard]] bool garbage() const { return (flags() & kGarbageFlag) != 0; }
+    /// Protected learnt clauses (glue tier) are exempt from reduction.
+    [[nodiscard]] bool protect() const { return (flags() & kProtectFlag) != 0; }
+    void set_protect() { base_[kFlagsWord] |= kProtectFlag; }
+
+    [[nodiscard]] std::uint32_t lbd() const { return flags() >> kLbdShift; }
+
+    [[nodiscard]] float activity() const {
+      return std::bit_cast<float>(base_[kActivityWord]);
+    }
+    void set_activity(float a) {
+      base_[kActivityWord] = std::bit_cast<std::uint32_t>(a);
+    }
+
+   private:
+    friend class ClauseArena;
+    [[nodiscard]] std::uint32_t flags() const { return base_[kFlagsWord]; }
+
+    std::uint32_t* base_;
+  };
+
+  /// Appends a clause (>= 3 literals; binaries are the solver's job) and
+  /// returns its reference. Invalidates outstanding Clause handles.
+  ClauseRef alloc(std::span<const Lit> lits, bool learnt, std::uint32_t lbd);
+
+  [[nodiscard]] Clause operator[](ClauseRef ref) {
+    CSAT_DCHECK(ref + kHeaderWords <= data_.size());
+    return Clause(data_.data() + ref);
+  }
+
+  /// Flags a clause as garbage and accounts its words for the next
+  /// compaction. The caller must already have dropped its watchers.
+  void mark_garbage(ClauseRef ref);
+
+  [[nodiscard]] std::size_t size_words() const { return data_.size(); }
+  [[nodiscard]] std::size_t garbage_words() const { return garbage_words_; }
+  [[nodiscard]] std::size_t live_clauses() const { return live_clauses_; }
+
+  /// Mark-compact step 1: moves every non-garbage clause into fresh storage
+  /// (in address order) and stores a forwarding reference in the old
+  /// header. Old refs stay resolvable through forwarded() until
+  /// compact_release().
+  void compact();
+  /// Resolves a pre-compaction reference to its new location. Only valid
+  /// between compact() and compact_release(), and only for live clauses.
+  [[nodiscard]] ClauseRef forwarded(ClauseRef ref) const;
+  /// Mark-compact step 3: frees the pre-compaction storage.
+  void compact_release();
+
+ private:
+  static constexpr std::uint32_t kSizeWord = 0;
+  static constexpr std::uint32_t kFlagsWord = 1;
+  static constexpr std::uint32_t kActivityWord = 2;
+  static constexpr std::uint32_t kLearntFlag = 1u << 0;
+  static constexpr std::uint32_t kGarbageFlag = 1u << 1;
+  static constexpr std::uint32_t kMovedFlag = 1u << 2;
+  static constexpr std::uint32_t kProtectFlag = 1u << 3;
+  static constexpr std::uint32_t kLbdShift = 8;
+
+  std::vector<std::uint32_t> data_;
+  /// Pre-compaction storage, holding forwarding addresses mid-collection.
+  std::vector<std::uint32_t> old_;
+  std::size_t garbage_words_ = 0;
+  std::size_t live_clauses_ = 0;
+};
+
+}  // namespace csat::sat
+
+#endif  // CSAT_SAT_ARENA_H

@@ -4,14 +4,21 @@
 
 namespace csat::sat {
 
-ClauseExchange::ClauseExchange(std::size_t capacity)
+ClauseExchange::ClauseExchange(std::size_t capacity,
+                               std::uint32_t max_clause_size)
     : capacity_(std::max<std::size_t>(1, capacity)),
-      slots_(std::make_unique<Slot[]>(capacity_)) {}
+      max_clause_size_(std::max<std::uint32_t>(1, max_clause_size)),
+      slots_(std::make_unique<Slot[]>(capacity_)),
+      lit_buffer_(std::make_unique<Lit[]>(capacity_ * max_clause_size_)) {}
 
 void ClauseExchange::publish(std::size_t source, std::span<const Lit> lits,
                              std::uint32_t lbd) {
+  // Dropped before the ticket is claimed: an oversized clause must not
+  // advance head_, or consumers would count a phantom publication as lost.
+  if (lits.size() > max_clause_size_) return;
   const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_acq_rel);
-  Slot& slot = slots_[ticket % capacity_];
+  const std::size_t index = ticket % capacity_;
+  Slot& slot = slots_[index];
   std::lock_guard<std::mutex> lock(slot.mutex);
   // When the ring wraps, the publisher holding ticket t and the one holding
   // t + capacity race for the same slot; keep whichever clause is newer so
@@ -20,7 +27,8 @@ void ClauseExchange::publish(std::size_t source, std::span<const Lit> lits,
   slot.stamp = ticket + 1;
   slot.source = source;
   slot.lbd = lbd;
-  slot.lits.assign(lits.begin(), lits.end());
+  slot.size = static_cast<std::uint32_t>(lits.size());
+  std::copy(lits.begin(), lits.end(), slot_lits(index));
 }
 
 std::uint64_t clause_hash(std::span<const Lit> lits) {

@@ -38,8 +38,17 @@ using cnf::Lit;
 
 class ClauseExchange {
  public:
+  /// Widest clause the ring can carry by default; publish() drops longer
+  /// ones (solver-side SharingLimits::max_size filters first, so nothing is
+  /// lost in practice).
+  static constexpr std::uint32_t kDefaultMaxClauseSize = 32;
+
   /// \p capacity is the number of ring slots (rounded up to at least 1).
-  explicit ClauseExchange(std::size_t capacity);
+  /// Slot literal storage is one flat pre-sized buffer of
+  /// capacity * max_clause_size literals — publishing and draining never
+  /// allocate, mirroring the solver's arena layout.
+  explicit ClauseExchange(std::size_t capacity,
+                          std::uint32_t max_clause_size = kDefaultMaxClauseSize);
 
   ClauseExchange(const ClauseExchange&) = delete;
   ClauseExchange& operator=(const ClauseExchange&) = delete;
@@ -62,7 +71,9 @@ class ClauseExchange {
   };
 
   /// Publishes a clause learnt by worker \p source. Never blocks on a full
-  /// ring; the oldest clause in the target slot is overwritten.
+  /// ring; the oldest clause in the target slot is overwritten. Clauses
+  /// wider than max_clause_size are dropped before a ticket is claimed, so
+  /// published() and drain accounting stay exact.
   void publish(std::size_t source, std::span<const Lit> lits,
                std::uint32_t lbd);
 
@@ -107,7 +118,8 @@ class ClauseExchange {
         if (slot.source == self) {
           ++out.skipped;
         } else {
-          scratch.assign(slot.lits.begin(), slot.lits.end());
+          const Lit* lits = slot_lits(ticket % capacity_);
+          scratch.assign(lits, lits + slot.size);
           lbd = slot.lbd;
           source = slot.source;
           deliver = true;
@@ -136,11 +148,21 @@ class ClauseExchange {
     std::uint64_t stamp = 0;
     std::size_t source = 0;
     std::uint32_t lbd = 0;
-    std::vector<Lit> lits;
+    std::uint32_t size = 0;  ///< literal count; payload lives in lit_buffer_
   };
 
+  /// Slot \p index's literals inside the shared flat buffer.
+  [[nodiscard]] Lit* slot_lits(std::size_t index) {
+    return lit_buffer_.get() + index * max_clause_size_;
+  }
+
   std::size_t capacity_;
+  std::uint32_t max_clause_size_;
   std::unique_ptr<Slot[]> slots_;
+  /// One flat allocation of capacity_ * max_clause_size_ literals; slot i
+  /// owns the stride starting at i * max_clause_size_, guarded by slot i's
+  /// mutex.
+  std::unique_ptr<Lit[]> lit_buffer_;
   std::atomic<std::uint64_t> head_{0};
 };
 

@@ -1,5 +1,6 @@
 #include "sat/portfolio.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <optional>
@@ -56,7 +57,12 @@ PortfolioResult solve_portfolio(const Cnf& formula,
   const bool share =
       options.sharing.enabled && n > 1 && !options.deterministic;
   std::optional<ClauseExchange> exchange;
-  if (share) exchange.emplace(options.sharing.ring_capacity);
+  // Size the ring's flat literal buffer to the widest clause the sharing
+  // filter lets through, so no published clause is ever dropped for width.
+  if (share) {
+    exchange.emplace(options.sharing.ring_capacity,
+                     std::max<std::uint32_t>(1, options.sharing.max_size));
+  }
 
   // Caller-supplied cancellation must keep working even though the workers'
   // terminate slot is taken by the internal stop flag: a watcher folds the

@@ -16,11 +16,12 @@ constexpr Lit kLitUndef = Lit(std::numeric_limits<std::uint32_t>::max());
 Solver::Solver(SolverConfig config) : config_(config), rng_state_(config.seed | 1) {}
 
 std::uint32_t Solver::new_var() {
-  const std::uint32_t v = static_cast<std::uint32_t>(assign_.size());
-  assign_.push_back(kUnknown);
+  const std::uint32_t v = num_vars();
+  value_.push_back(kUnknown);  // positive literal
+  value_.push_back(kUnknown);  // negative literal
   phase_.push_back(config_.default_phase ? kTrue : kFalse);
   level_.push_back(0);
-  reason_.push_back(kNoReason);
+  reason_.push_back(Reason::none());
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(0);
@@ -82,64 +83,54 @@ bool Solver::add_clause(std::span<const Lit> lits) {
       ok_ = false;
       return false;
     }
-    if (value(out[0]) == kUnknown) enqueue(out[0], kNoReason);
-    if (propagate() != kNoReason) {
+    if (value(out[0]) == kUnknown) enqueue(out[0], Reason::none());
+    if (!propagate().is_none()) {
       ok_ = false;
       return false;
     }
     return true;
   }
-  attach_clause(std::move(out), /*learnt=*/false, /*lbd=*/0);
+  attach_clause(out, /*learnt=*/false, /*lbd=*/0);
   return true;
 }
 
-Solver::ClauseRef Solver::attach_clause(std::vector<Lit> lits, bool learnt,
-                                        std::uint32_t lbd) {
+Solver::Reason Solver::attach_clause(std::span<const Lit> lits, bool learnt,
+                                     std::uint32_t lbd) {
   CSAT_DCHECK(lits.size() >= 2);
-  const ClauseRef cref = static_cast<ClauseRef>(clauses_.size());
-  Clause cl;
-  cl.lits = std::move(lits);
-  cl.learnt = learnt;
-  cl.lbd = lbd;
-  cl.activity = learnt ? clause_inc_ : 0.0;
-  clauses_.push_back(std::move(cl));
-  const Clause& c = clauses_.back();
-  watches_[(!c.lits[0]).x].push_back({cref, c.lits[1]});
-  watches_[(!c.lits[1]).x].push_back({cref, c.lits[0]});
+  if (learnt) ++stats_.learned;
+  if (lits.size() == 2) {
+    // Inline binary clause: the other literal is the watcher; no arena
+    // storage, so the clause can never be garbage-collected (matching the
+    // old rule that clauses of <= 2 literals are never deleted).
+    watches_[(!lits[0]).x].push_back({kClauseRefBinary, lits[1]});
+    watches_[(!lits[1]).x].push_back({kClauseRefBinary, lits[0]});
+    return Reason::binary(lits[1]);
+  }
+  const ClauseRef cref = arena_.alloc(lits, learnt, lbd);
   if (learnt) {
+    ClauseArena::Clause c = arena_[cref];
+    c.set_activity(static_cast<float>(clause_inc_));
+    // Glue clauses are promoted straight to the protected tier: reduce_db()
+    // never deletes them.
+    if (lbd <= config_.glue_keep) c.set_protect();
     learnt_refs_.push_back(cref);
-    ++stats_.learned;
   }
-  return cref;
+  watches_[(!lits[0]).x].push_back({cref, lits[1]});
+  watches_[(!lits[1]).x].push_back({cref, lits[0]});
+  return Reason::clause(cref);
 }
 
-void Solver::detach_clause(ClauseRef cref) {
-  Clause& c = clauses_[cref];
-  for (Lit w : {c.lits[0], c.lits[1]}) {
-    auto& ws = watches_[(!w).x];
-    for (std::size_t i = 0; i < ws.size(); ++i) {
-      if (ws[i].cref == cref) {
-        ws[i] = ws.back();
-        ws.pop_back();
-        break;
-      }
-    }
-  }
-  c.deleted = true;
-  c.lits.clear();
-  c.lits.shrink_to_fit();
-}
-
-void Solver::enqueue(Lit l, ClauseRef reason) {
+void Solver::enqueue(Lit l, Reason reason) {
   CSAT_DCHECK(value(l) == kUnknown);
-  assign_[l.var()] = static_cast<std::uint8_t>(l.sign() ? kFalse : kTrue);
+  value_[l.x] = kTrue;
+  value_[(!l).x] = kFalse;
   level_[l.var()] = decision_level();
   reason_[l.var()] = reason;
   trail_.push_back(l);
 }
 
-Solver::ClauseRef Solver::propagate() {
-  ClauseRef confl = kNoReason;
+Solver::Conflict Solver::propagate() {
+  Conflict confl;
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p is now true
     ++stats_.propagations;
@@ -148,26 +139,41 @@ Solver::ClauseRef Solver::propagate() {
     std::size_t i = 0;
     for (; i < ws.size(); ++i) {
       const Watcher w = ws[i];
-      if (value(w.blocker) == kTrue) {
+      const std::uint8_t bval = value(w.blocker);
+      if (bval == kTrue) {
         ws[keep++] = w;
         continue;
       }
-      Clause& c = clauses_[w.cref];
+      if (w.cref == kClauseRefBinary) {
+        // Inline binary clause (w.blocker OR !p): unit or conflicting,
+        // resolved without touching the arena.
+        ws[keep++] = w;
+        if (bval == kFalse) {
+          confl = {kClauseRefBinary, w.blocker, !p};
+          qhead_ = trail_.size();
+          for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
+          break;
+        }
+        enqueue(w.blocker, Reason::binary(!p));
+        continue;
+      }
+      ClauseArena::Clause c = arena_[w.cref];
       // Normalize so the false literal (~p) sits at position 1.
       const Lit not_p = !p;
-      if (c.lits[0] == not_p) std::swap(c.lits[0], c.lits[1]);
-      CSAT_DCHECK(c.lits[1] == not_p);
-      const Lit first = c.lits[0];
+      if (c[0] == not_p) std::swap(c[0], c[1]);
+      CSAT_DCHECK(c[1] == not_p);
+      const Lit first = c[0];
       if (first != w.blocker && value(first) == kTrue) {
         ws[keep++] = {w.cref, first};
         continue;
       }
       // Search for a replacement watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != kFalse) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[(!c.lits[1]).x].push_back({w.cref, first});
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[(!c[1]).x].push_back({w.cref, first});
           moved = true;
           break;
         }
@@ -176,16 +182,16 @@ Solver::ClauseRef Solver::propagate() {
       // Clause is unit or conflicting.
       ws[keep++] = {w.cref, first};
       if (value(first) == kFalse) {
-        confl = w.cref;
+        confl.cref = w.cref;
         qhead_ = trail_.size();
         // Preserve the remaining watchers before aborting the scan.
         for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
         break;
       }
-      enqueue(first, w.cref);
+      enqueue(first, Reason::clause(w.cref));
     }
     ws.resize(keep);
-    if (confl != kNoReason) break;
+    if (!confl.is_none()) break;
   }
   return confl;
 }
@@ -195,9 +201,10 @@ void Solver::backtrack(std::uint32_t target) {
   const std::uint32_t limit = trail_lim_[target];
   for (std::size_t i = trail_.size(); i-- > limit;) {
     const std::uint32_t v = trail_[i].var();
-    if (config_.phase_saving) phase_[v] = assign_[v];
-    assign_[v] = kUnknown;
-    reason_[v] = kNoReason;
+    if (config_.phase_saving) phase_[v] = var_value(v);
+    value_[v << 1] = kUnknown;
+    value_[(v << 1) | 1] = kUnknown;
+    reason_[v] = Reason::none();
     if (heap_pos_[v] < 0) heap_insert(v);
   }
   trail_.resize(limit);
@@ -231,30 +238,42 @@ void Solver::bump_var(std::uint32_t v) {
   if (heap_pos_[v] >= 0) heap_up(static_cast<std::uint32_t>(heap_pos_[v]));
 }
 
-void Solver::bump_clause(Clause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (ClauseRef cr : learnt_refs_)
-      if (!clauses_[cr].deleted) clauses_[cr].activity *= 1e-20;
+void Solver::bump_clause(ClauseArena::Clause c) {
+  c.set_activity(c.activity() + static_cast<float>(clause_inc_));
+  if (c.activity() > 1e20f) {
+    for (ClauseRef cr : learnt_refs_) {
+      ClauseArena::Clause lc = arena_[cr];
+      if (!lc.garbage()) lc.set_activity(lc.activity() * 1e-20f);
+    }
     clause_inc_ *= 1e-20;
   }
 }
 
-void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+void Solver::analyze(const Conflict& confl, std::vector<Lit>& learnt,
                      std::uint32_t& bt_level, std::uint32_t& lbd) {
   learnt.clear();
   learnt.push_back(kLitUndef);  // slot for the asserting literal
   std::uint32_t counter = 0;
   Lit p = kLitUndef;
   std::size_t index = trail_.size();
+  // The clause under resolution: an arena reference, or — for inline
+  // binaries — its two literals carried by value in bin[].
+  ClauseRef cr = confl.cref;
+  Lit bin[2] = {confl.a, confl.b};
 
   do {
-    CSAT_DCHECK(confl != kNoReason);
-    Clause& c = clauses_[confl];
-    if (c.learnt) bump_clause(c);
+    std::span<const Lit> clits;
+    if (cr == kClauseRefBinary) {
+      clits = std::span<const Lit>(bin, 2);
+    } else {
+      CSAT_DCHECK(cr != kClauseRefUndef);
+      ClauseArena::Clause c = arena_[cr];
+      if (c.learnt()) bump_clause(c);
+      clits = c.lits();
+    }
     const std::size_t start = (p == kLitUndef) ? 0 : 1;
-    for (std::size_t j = start; j < c.lits.size(); ++j) {
-      const Lit q = c.lits[j];
+    for (std::size_t j = start; j < clits.size(); ++j) {
+      const Lit q = clits[j];
       const std::uint32_t v = q.var();
       if (seen_[v] || level_[v] == 0) continue;
       seen_[v] = 1;
@@ -268,7 +287,10 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
     while (!seen_[trail_[--index].var()]) {
     }
     p = trail_[index];
-    confl = reason_[p.var()];
+    const Reason r = reason_[p.var()];
+    cr = r.cref;
+    bin[0] = p;  // reason clause of p is (p OR r.other); start=1 skips p
+    bin[1] = r.other;
     seen_[p.var()] = 0;
     --counter;
   } while (counter > 0);
@@ -282,7 +304,7 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
   std::size_t out = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     const Lit l = learnt[i];
-    if (reason_[l.var()] == kNoReason || !lit_redundant(l, abstract_levels))
+    if (reason_[l.var()].is_none() || !lit_redundant(l, abstract_levels))
       learnt[out++] = l;
     else
       ++stats_.minimized_lits;
@@ -311,13 +333,22 @@ bool Solver::lit_redundant(Lit lit, std::uint32_t abstract_levels) {
   while (!analyze_stack_.empty()) {
     const Lit q = analyze_stack_.back();
     analyze_stack_.pop_back();
-    CSAT_DCHECK(reason_[q.var()] != kNoReason);
-    const Clause& c = clauses_[reason_[q.var()]];
-    for (std::size_t j = 1; j < c.lits.size(); ++j) {
-      const Lit l = c.lits[j];
+    const Reason r = reason_[q.var()];
+    CSAT_DCHECK(!r.is_none());
+    // Antecedent literals of q's reason, excluding q itself: the stored
+    // other literal for a binary reason, positions 1.. for an arena clause.
+    Lit bin[1];
+    std::span<const Lit> rest;
+    if (r.is_binary()) {
+      bin[0] = r.other;
+      rest = std::span<const Lit>(bin, 1);
+    } else {
+      rest = arena_[r.cref].lits().subspan(1);
+    }
+    for (const Lit l : rest) {
       const std::uint32_t v = l.var();
       if (seen_[v] || level_[v] == 0) continue;
-      if (reason_[v] != kNoReason &&
+      if (!reason_[v].is_none() &&
           ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
         seen_[v] = 1;
         analyze_stack_.push_back(l);
@@ -391,13 +422,13 @@ Lit Solver::pick_branch() {
       const std::uint32_t idx = static_cast<std::uint32_t>(
           splitmix64(rng_state_) % heap_.size());
       const std::uint32_t v = heap_[idx];
-      if (assign_[v] == kUnknown)
+      if (var_value(v) == kUnknown)
         return Lit::make(v, phase_[v] == kFalse);
     }
   }
   while (!heap_.empty()) {
     const std::uint32_t v = heap_pop();
-    if (assign_[v] == kUnknown) return Lit::make(v, phase_[v] == kFalse);
+    if (var_value(v) == kUnknown) return Lit::make(v, phase_[v] == kFalse);
   }
   return kLitUndef;
 }
@@ -418,36 +449,75 @@ bool Solver::should_restart() const {
 }
 
 void Solver::reduce_db() {
-  // Drop stale refs, then delete the worse half of deletable learnt clauses
-  // (high LBD first, low activity as tie-break). Glue, binary and locked
-  // clauses survive.
-  std::vector<ClauseRef> live;
-  live.reserve(learnt_refs_.size());
-  for (ClauseRef cr : learnt_refs_)
-    if (!clauses_[cr].deleted) live.push_back(cr);
-  learnt_refs_ = std::move(live);
-
+  ++stats_.reductions;
+  // Delete the worse half of deletable learnt clauses (high LBD first, low
+  // activity as tie-break). Protected (glue — the flag is set at attach for
+  // LBD <= glue_keep), inline binary and reason-locked clauses survive.
+  // learnt_refs_ holds no garbage on entry: marked clauses are erased below
+  // in the same cycle.
   auto locked = [&](ClauseRef cr) {
-    const Clause& c = clauses_[cr];
-    return value(c.lits[0]) == kTrue && reason_[c.lits[0].var()] == cr;
+    const Lit first = arena_[cr][0];
+    const Reason r = reason_[first.var()];
+    return value(first) == kTrue && r.is_clause() && r.cref == cr;
   };
   std::vector<ClauseRef> deletable;
   for (ClauseRef cr : learnt_refs_) {
-    const Clause& c = clauses_[cr];
-    if (c.lbd <= config_.glue_keep || c.lits.size() <= 2 || locked(cr)) continue;
+    ClauseArena::Clause c = arena_[cr];
+    if (c.protect() || locked(cr)) continue;
     deletable.push_back(cr);
   }
   std::sort(deletable.begin(), deletable.end(), [&](ClauseRef a, ClauseRef b) {
-    const Clause& ca = clauses_[a];
-    const Clause& cb = clauses_[b];
-    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
-    return ca.activity < cb.activity;
+    ClauseArena::Clause ca = arena_[a];
+    ClauseArena::Clause cb = arena_[b];
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    return ca.activity() < cb.activity();
   });
   const std::size_t to_remove = deletable.size() / 2;
   for (std::size_t i = 0; i < to_remove; ++i) {
-    detach_clause(deletable[i]);
+    arena_.mark_garbage(deletable[i]);
     ++stats_.removed;
   }
+  if (to_remove > 0) {
+    purge_garbage_watchers();
+    std::erase_if(learnt_refs_,
+                  [&](ClauseRef cr) { return arena_[cr].garbage(); });
+  }
+  // Mark-compact once a quarter of the arena is dead: amortizes the copy
+  // against the fragmentation BCP would otherwise walk over.
+  if (arena_.garbage_words() > 0 &&
+      arena_.garbage_words() * 4 >= arena_.size_words()) {
+    collect_garbage();
+  }
+}
+
+void Solver::purge_garbage_watchers() {
+  // Single sweep over every watch list instead of per-clause detach: a
+  // reduction round deletes thousands of clauses, so one O(watchers) pass
+  // beats O(deleted * list length) searches.
+  for (auto& ws : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : ws)
+      if (w.cref == kClauseRefBinary || !arena_[w.cref].garbage())
+        ws[keep++] = w;
+    ws.resize(keep);
+  }
+}
+
+void Solver::collect_garbage() {
+  ++stats_.arena_gcs;
+  arena_.compact();
+  // Remap every surviving reference through the forwarding addresses the
+  // compaction left behind. Inline binaries carry no reference. Reasons
+  // are only meaningful for assigned variables, i.e. exactly the trail.
+  for (auto& ws : watches_)
+    for (Watcher& w : ws)
+      if (w.cref != kClauseRefBinary) w.cref = arena_.forwarded(w.cref);
+  for (const Lit l : trail_) {
+    Reason& r = reason_[l.var()];
+    if (r.is_clause()) r.cref = arena_.forwarded(r.cref);
+  }
+  for (ClauseRef& cr : learnt_refs_) cr = arena_.forwarded(cr);
+  arena_.compact_release();
 }
 
 // --- clause sharing ----------------------------------------------------------
@@ -493,10 +563,10 @@ void Solver::import_one(std::span<const Lit> lits, std::uint32_t lbd) {
     if (value(out[0]) == kFalse)
       ok_ = false;
     else if (value(out[0]) == kUnknown)
-      enqueue(out[0], kNoReason);
+      enqueue(out[0], Reason::none());
     return;
   }
-  attach_clause(std::move(out), /*learnt=*/true, std::max(lbd, 1u));
+  attach_clause(out, /*learnt=*/true, std::max(lbd, 1u));
 }
 
 bool Solver::import_clauses() {
@@ -508,7 +578,7 @@ bool Solver::import_clauses() {
         import_one(lits, lbd);
       });
   stats_.import_lost += drained.lost;
-  if (ok_ && propagate() != kNoReason) ok_ = false;
+  if (ok_ && !propagate().is_none()) ok_ = false;
   return ok_;
 }
 
@@ -518,7 +588,7 @@ Status Solver::solve(const Limits& limits) {
   if (!ok_) return Status::kUnsat;
   Stopwatch watch;
 
-  if (propagate() != kNoReason) {
+  if (!propagate().is_none()) {
     ok_ = false;
     return Status::kUnsat;
   }
@@ -538,8 +608,8 @@ Status Solver::solve(const Limits& limits) {
       backtrack(0);
       return Status::kUnknown;
     }
-    const ClauseRef confl = propagate();
-    if (confl != kNoReason) {
+    const Conflict confl = propagate();
+    if (!confl.is_none()) {
       ++stats_.conflicts;
       if (decision_level() == 0) {
         ok_ = false;
@@ -549,11 +619,11 @@ Status Solver::solve(const Limits& limits) {
       std::uint32_t lbd = 0;
       analyze(confl, learnt, bt_level, lbd);
       backtrack(bt_level);
+      stats_.learnt_literals += learnt.size();
       if (learnt.size() == 1) {
-        enqueue(learnt[0], kNoReason);
+        enqueue(learnt[0], Reason::none());
       } else {
-        const ClauseRef cref = attach_clause(learnt, /*learnt=*/true, lbd);
-        enqueue(learnt[0], cref);
+        enqueue(learnt[0], attach_clause(learnt, /*learnt=*/true, lbd));
       }
       if (exchange_ != nullptr) export_clause(learnt, lbd);
       decay_var_activity();
@@ -608,7 +678,7 @@ Status Solver::solve(const Limits& limits) {
     if (next == kLitUndef) {
       model_.assign(num_vars(), false);
       for (std::uint32_t v = 0; v < num_vars(); ++v)
-        model_[v] = assign_[v] == kTrue;
+        model_[v] = var_value(v) == kTrue;
       backtrack(0);
       return Status::kSat;
     }
@@ -616,7 +686,7 @@ Status Solver::solve(const Limits& limits) {
     trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
     stats_.max_decision_level =
         std::max<std::uint64_t>(stats_.max_decision_level, decision_level());
-    enqueue(next, kNoReason);
+    enqueue(next, Reason::none());
   }
 }
 

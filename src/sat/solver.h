@@ -4,11 +4,20 @@
 /// \file solver.h
 /// Conflict-Driven Clause Learning SAT solver.
 ///
-/// A self-contained CDCL solver in the MiniSat lineage: two-watched-literal
-/// propagation with blocker literals, first-UIP conflict analysis with
-/// recursive clause minimization, EVSIDS decision heuristic with phase
-/// saving, Luby or Glucose-EMA restarts, and LBD/activity-driven learnt
-/// clause database reduction.
+/// A self-contained CDCL solver in the MiniSat/CaDiCaL lineage:
+/// two-watched-literal propagation with blocker literals over a flat clause
+/// arena (sat/arena.h), binary clauses inlined entirely in the watch lists,
+/// first-UIP conflict analysis with recursive clause minimization, EVSIDS
+/// decision heuristic with phase saving, Luby or Glucose-EMA restarts, and
+/// LBD/activity-driven learnt clause database reduction with mark-compact
+/// garbage collection.
+///
+/// Memory model: clauses of >= 3 literals are packed header+literals in one
+/// contiguous std::uint32_t arena and addressed by 32-bit ClauseRef
+/// offsets. Binary clauses have no clause object at all — the watch-list
+/// entry stores the other literal (the watcher *is* the clause), so binary
+/// propagation never touches the arena, and reasons/conflicts carry a
+/// binary tag plus that literal instead of a reference.
 ///
 /// Two roles in the framework:
 ///  * the *evaluation solver* standing in for Kissat 4.0 / CaDiCaL 2.0
@@ -28,6 +37,7 @@
 #include <vector>
 
 #include "cnf/cnf.h"
+#include "sat/arena.h"
 #include "sat/clause_exchange.h"
 
 namespace csat::sat {
@@ -93,7 +103,14 @@ struct Stats {
   std::uint64_t propagations = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned = 0;
+  /// Literals across all clauses learned from conflicts (units included);
+  /// learnt_literals / conflicts is the mean learned-clause length.
+  std::uint64_t learnt_literals = 0;
   std::uint64_t removed = 0;
+  /// Learnt-DB reduction passes, and how many of them ended in a
+  /// mark-compact arena collection.
+  std::uint64_t reductions = 0;
+  std::uint64_t arena_gcs = 0;
   std::uint64_t minimized_lits = 0;
   std::uint64_t max_decision_level = 0;
   /// Clause sharing (zero unless connected to a ClauseExchange).
@@ -132,7 +149,7 @@ class Solver {
 
   std::uint32_t new_var();
   [[nodiscard]] std::uint32_t num_vars() const {
-    return static_cast<std::uint32_t>(assign_.size());
+    return static_cast<std::uint32_t>(level_.size());
   }
 
   /// Adds a clause; returns false when the formula became trivially
@@ -177,37 +194,61 @@ class Solver {
 
  private:
   enum : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
-  using ClauseRef = std::uint32_t;
-  static constexpr ClauseRef kNoReason = std::numeric_limits<ClauseRef>::max();
 
-  struct Clause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    std::uint32_t lbd = 0;
-    bool learnt = false;
-    bool deleted = false;
+  /// Why a variable is assigned: nothing (decision or root unit), an arena
+  /// clause, or an inline binary clause — for binaries the clause has no
+  /// storage, so the reason carries its other (false) literal directly.
+  struct Reason {
+    ClauseRef cref = kClauseRefUndef;
+    Lit other{};
+
+    static Reason none() { return {}; }
+    static Reason clause(ClauseRef c) { return {c, Lit{}}; }
+    static Reason binary(Lit o) { return {kClauseRefBinary, o}; }
+    [[nodiscard]] bool is_none() const { return cref == kClauseRefUndef; }
+    [[nodiscard]] bool is_binary() const { return cref == kClauseRefBinary; }
+    [[nodiscard]] bool is_clause() const { return cref < kClauseRefBinary; }
   };
 
+  /// Conflict found by propagate(): an arena clause, an inline binary
+  /// clause (both literals false, carried by value), or none.
+  struct Conflict {
+    ClauseRef cref = kClauseRefUndef;
+    Lit a{};
+    Lit b{};
+
+    [[nodiscard]] bool is_none() const { return cref == kClauseRefUndef; }
+    [[nodiscard]] bool is_binary() const { return cref == kClauseRefBinary; }
+  };
+
+  /// Watch-list entry. For arena clauses, blocker is some literal of the
+  /// clause (visits where it is already true skip the arena entirely). For
+  /// inline binary clauses (cref == kClauseRefBinary), blocker *is* the
+  /// other literal of the clause — propagation resolves the visit with no
+  /// arena access at all.
   struct Watcher {
     ClauseRef cref;
     Lit blocker;
   };
 
   // --- assignment & propagation ---
-  [[nodiscard]] std::uint8_t value(Lit l) const {
-    const std::uint8_t v = assign_[l.var()];
-    return v == kUnknown ? kUnknown : (v ^ static_cast<std::uint8_t>(l.sign()));
+  /// Literal-indexed truth lookup: one byte load, no sign arithmetic — this
+  /// is the single hottest read in propagate() (the blocker test).
+  [[nodiscard]] std::uint8_t value(Lit l) const { return value_[l.x]; }
+  /// Truth value of variable \p v (its positive literal).
+  [[nodiscard]] std::uint8_t var_value(std::uint32_t v) const {
+    return value_[v << 1];
   }
-  void enqueue(Lit l, ClauseRef reason);
-  ClauseRef propagate();
+  void enqueue(Lit l, Reason reason);
+  Conflict propagate();
   void backtrack(std::uint32_t level);
   [[nodiscard]] std::uint32_t decision_level() const {
     return static_cast<std::uint32_t>(trail_lim_.size());
   }
 
   // --- conflict analysis ---
-  void analyze(ClauseRef confl, std::vector<Lit>& learnt, std::uint32_t& bt_level,
-               std::uint32_t& lbd);
+  void analyze(const Conflict& confl, std::vector<Lit>& learnt,
+               std::uint32_t& bt_level, std::uint32_t& lbd);
   [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
   [[nodiscard]] std::uint32_t compute_lbd(std::span<const Lit> lits);
 
@@ -229,11 +270,22 @@ class Solver {
   /// and root-satisfied clauses (kRedundant) and the empty clause (kEmpty).
   enum class RootNorm { kRedundant, kEmpty, kClause };
   RootNorm normalize_at_root(std::span<const Lit> lits, std::vector<Lit>& out);
-  ClauseRef attach_clause(std::vector<Lit> lits, bool learnt, std::uint32_t lbd);
-  void detach_clause(ClauseRef cref);
-  void bump_clause(Clause& c);
+  /// Attaches a clause (>= 2 literals): binaries go straight into the watch
+  /// lists, longer clauses into the arena. Returns the reason to use when
+  /// enqueuing lits[0] as the asserting literal.
+  Reason attach_clause(std::span<const Lit> lits, bool learnt,
+                       std::uint32_t lbd);
+  void bump_clause(ClauseArena::Clause c);
   void decay_clause_activity() { clause_inc_ /= config_.clause_decay; }
+  /// Learnt-DB reduction: marks the worse half of the deletable learnt
+  /// clauses garbage, purges their watchers, and runs a mark-compact arena
+  /// collection (collect_garbage) once enough of the arena is dead.
   void reduce_db();
+  void purge_garbage_watchers();
+  /// Mark-compact GC: relocates live clauses and remaps every watcher,
+  /// reason and learnt reference. Reason clauses are protected from
+  /// deletion by reduce_db(), so forwarding is always defined for them.
+  void collect_garbage();
 
   // --- restarts ---
   [[nodiscard]] bool should_restart() const;
@@ -247,14 +299,14 @@ class Solver {
   Stats stats_;
   bool ok_ = true;
 
-  std::vector<Clause> clauses_;              // all clauses, index = ClauseRef
-  std::vector<ClauseRef> learnt_refs_;       // learnt subset for reduction
+  ClauseArena arena_;                  // all clauses of >= 3 literals
+  std::vector<ClauseRef> learnt_refs_;  // learnt arena subset for reduction
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit.x
 
-  std::vector<std::uint8_t> assign_;   // per var
+  std::vector<std::uint8_t> value_;    // per literal (indexed by Lit.x)
   std::vector<std::uint8_t> phase_;    // saved polarity per var
   std::vector<std::uint32_t> level_;   // per var
-  std::vector<ClauseRef> reason_;      // per var
+  std::vector<Reason> reason_;         // per var
   std::vector<Lit> trail_;
   std::vector<std::uint32_t> trail_lim_;
   std::size_t qhead_ = 0;

@@ -113,6 +113,33 @@ TEST(FuzzDifferential, GeneratedCircuitMiters) {
   EXPECT_GT(unsat_count, 0);
 }
 
+TEST(FuzzDifferential, GcChurnUnderSharing) {
+  // Arena GC interaction: every worker reduces its learnt DB every few
+  // dozen conflicts (constant mark-compact churn) while importing shared
+  // clauses. Differential against an untouched sequential solver.
+  Rng rng(0x6A4BA6E);
+  sat::PortfolioOptions opt;
+  opt.configs = sat::default_portfolio(4);
+  for (auto& cfg : opt.configs) {
+    cfg.reduce_first = 40;
+    cfg.reduce_increment = 10;
+  }
+  opt.sharing.enabled = true;
+  opt.sharing.ring_capacity = 64;
+  for (int i = 0; i < 25; ++i) {
+    const int vars = 20 + static_cast<int>(rng.next_below(31));
+    const double ratio = 3.8 + 0.01 * static_cast<double>(rng.next_below(101));
+    const cnf::Cnf f = random_3sat(
+        vars, static_cast<int>(vars * ratio), rng.next_u64());
+    const auto seq = sat::solve_cnf(f, sat::SolverConfig::kissat_like());
+    const auto r = sat::solve_portfolio(f, opt);
+    EXPECT_EQ(r.status, seq.status) << i;
+    if (r.status == sat::Status::kSat) {
+      EXPECT_TRUE(check_model(f, r.model)) << i;
+    }
+  }
+}
+
 TEST(FuzzDifferential, SharingUnderTinyRingAndAggressiveFilters) {
   // Stress the overwrite path: a 16-slot ring with a generous LBD filter
   // floods the exchange, so imports race overwrites constantly. Verdicts
