@@ -1,0 +1,138 @@
+// Solve-server throughput harness: a cached, repeated-instance workload
+// (N client rounds x U unique instances) served three ways —
+//
+//   1. one-shot core::run_batch (the pre-server path: every repeat re-solves),
+//   2. the solve server with the result cache disabled (persistent-worker
+//      solver reuse only),
+//   3. the solve server with the structural cache on (repeats are hits).
+//
+// The acceptance bar for the server tentpole is (3) >= 5x the throughput of
+// (1) on the repeated workload; the (2) row isolates how much of that is
+// warm-solver reuse vs caching. All three run the same worker count.
+//
+//   $ ./server_throughput [--unique=U] [--repeats=R] [--workers=W] [--seed=S]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/batch_runner.h"
+#include "core/solve_server.h"
+#include "gen/miter.h"
+#include "gen/random_circuit.h"
+
+using namespace csat;
+
+namespace {
+
+struct Workload {
+  std::vector<std::string> specs;     // server-side family specs
+  std::vector<aig::Aig> circuits;     // the same instances, pre-built
+};
+
+/// U unique instances: adder-equivalence miters (hard UNSAT backbone)
+/// interleaved with random AIGs (cheap, SAT-leaning). The server receives
+/// family specs and pays generation per request; run_batch gets the
+/// pre-built circuits (a deliberate head start for the baseline).
+Workload make_workload(int unique, std::uint64_t seed) {
+  Workload w;
+  for (int i = 0; i < unique; ++i) {
+    if (i % 3 != 2) {
+      // Miters carry the real solving load (UNSAT, hardness grows with
+      // width); without them every request is trivial and fixed scheduling
+      // overheads — not solving — would dominate all three rows.
+      const int width = 6 + i;
+      std::string spec("adder_miter:");
+      spec += std::to_string(width);
+      w.specs.push_back(std::move(spec));
+      w.circuits.push_back(gen::make_adder_miter(width));
+    } else {
+      gen::RandomAigParams p;
+      p.num_pis = 12;
+      p.num_gates = 60 + 5 * i;
+      const std::uint64_t s = seed + static_cast<std::uint64_t>(i);
+      std::string spec("random:12:");
+      spec += std::to_string(p.num_gates);
+      spec += ':';
+      spec += std::to_string(s);
+      w.specs.push_back(std::move(spec));
+      w.circuits.push_back(gen::random_aig(p, s));
+    }
+  }
+  return w;
+}
+
+double run_server(const Workload& w, int repeats, std::size_t workers,
+                  std::size_t cache_capacity, std::uint64_t* hits) {
+  core::ServerOptions options;
+  options.num_workers = workers;
+  options.cache_capacity = cache_capacity;
+  core::SolveServer server(options);
+  Stopwatch watch;
+  server.start();
+  for (int r = 0; r < repeats; ++r) {
+    for (const std::string& spec : w.specs) {
+      core::ServerRequest req;
+      req.instance = core::ServerRequest::Instance::kFamily;
+      req.payload = spec;
+      server.submit(std::move(req));
+    }
+  }
+  server.drain();
+  const double seconds = watch.seconds();
+  *hits = server.cache_counters().hits;
+  server.stop();
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const int unique = static_cast<int>(flags.get_int("unique", 12));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 8));
+  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 4));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const Workload w = make_workload(unique, seed);
+  const std::size_t total = static_cast<std::size_t>(unique) *
+                            static_cast<std::size_t>(repeats);
+
+  std::printf("workload: %d unique instances x %d repeats = %zu requests, "
+              "%zu workers\n\n",
+              unique, repeats, total, workers);
+
+  // 1. one-shot run_batch over the fully expanded instance list.
+  std::vector<aig::Aig> expanded;
+  expanded.reserve(total);
+  for (int r = 0; r < repeats; ++r)
+    for (const aig::Aig& g : w.circuits) expanded.push_back(g);
+  core::BatchOptions batch;
+  batch.pipeline.mode = core::PipelineMode::kBaseline;
+  batch.num_workers = workers;
+  Stopwatch watch;
+  const auto ref = core::run_batch(expanded, batch);
+  const double batch_seconds = watch.seconds();
+  std::printf("one-shot run_batch   %8.3fs  %9.1f inst/s  (%zu SAT, %zu UNSAT)\n",
+              batch_seconds, static_cast<double>(total) / batch_seconds,
+              ref.num_sat, ref.num_unsat);
+
+  // 2. server, cache off: persistent-worker solver reuse only.
+  std::uint64_t hits = 0;
+  const double nocache_seconds = run_server(w, repeats, workers, 0, &hits);
+  std::printf("server (cache off)   %8.3fs  %9.1f inst/s\n", nocache_seconds,
+              static_cast<double>(total) / nocache_seconds);
+
+  // 3. server, cache on: repeats served from the structural cache.
+  const double cached_seconds = run_server(w, repeats, workers, 1024, &hits);
+  std::printf("server (cache on)    %8.3fs  %9.1f inst/s  (%llu/%zu cache hits)\n",
+              cached_seconds, static_cast<double>(total) / cached_seconds,
+              static_cast<unsigned long long>(hits), total);
+
+  const double speedup = cached_seconds > 0.0 ? batch_seconds / cached_seconds : 0.0;
+  std::printf("\ncached-workload speedup vs one-shot run_batch: %.2fx "
+              "(acceptance target >= 5x)\n",
+              speedup);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Incremental solve server over stdin/stdout: reads the line protocol of
+// docs/PROTOCOL.md, streams one JSON response line per request, and keeps a
+// pool of persistent solvers (reset, not reallocated, between requests)
+// behind a structural result cache.
+//
+//   $ printf 'solve id=a expect=unsat family=adder_miter:6\nquit\n' |
+//       ./solve_server --workers=2
+//
+//   Flags: --workers=N            worker pool size (0 = hardware)
+//          --queue=N              bounded request-queue capacity
+//          --cache=N              result-cache entries (0 disables)
+//          --config=kissat|cadical  sequential/lead solver configuration
+//          --max-seconds=F        default per-request budget
+//          --portfolio=K          default portfolio size
+//          --expect-cache-hits=N  exit 1 unless the cache hit >= N times
+//          --strict               exit 1 on any error response
+//
+// Exit status: 0 on success; 1 when any expect= self-check failed, when
+// --expect-cache-hits was not met, or (--strict) when any request errored;
+// 2 on bad flags. A final stats summary goes to stderr so stdout stays pure
+// protocol.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/solve_server.h"
+
+using namespace csat;
+
+int main(int argc, char** argv) {
+  core::ServerOptions options;
+  long expect_cache_hits = -1;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto int_flag = [&](const char* prefix, long min_value, long& out) {
+      const std::string p = prefix;
+      if (arg.rfind(p, 0) != 0) return false;
+      const char* digits = arg.c_str() + p.size();
+      char* end = nullptr;
+      const long v = std::strtol(digits, &end, 10);
+      if (end == digits || *end != '\0' || v < min_value) {
+        std::fprintf(stderr, "%s wants an integer >= %ld\n", prefix, min_value);
+        std::exit(2);
+      }
+      out = v;
+      return true;
+    };
+    long v = 0;
+    if (int_flag("--workers=", 0, v)) {
+      options.num_workers = static_cast<std::size_t>(v);
+    } else if (int_flag("--queue=", 1, v)) {
+      options.queue_capacity = static_cast<std::size_t>(v);
+    } else if (int_flag("--cache=", 0, v)) {
+      options.cache_capacity = static_cast<std::size_t>(v);
+    } else if (int_flag("--portfolio=", 1, v)) {
+      options.default_portfolio_size = static_cast<std::size_t>(v);
+    } else if (int_flag("--expect-cache-hits=", 0, v)) {
+      expect_cache_hits = v;
+    } else if (arg.rfind("--max-seconds=", 0) == 0) {
+      const char* digits = arg.c_str() + 14;
+      char* end = nullptr;
+      const double s = std::strtod(digits, &end);
+      if (end == digits || *end != '\0' || s <= 0.0) {
+        std::fprintf(stderr, "--max-seconds wants a positive number\n");
+        return 2;
+      }
+      options.default_limits.max_seconds = s;
+    } else if (arg.rfind("--config=", 0) == 0) {
+      const std::string c = arg.substr(9);
+      if (c == "kissat") {
+        options.solver = sat::SolverConfig::kissat_like();
+      } else if (c == "cadical") {
+        options.solver = sat::SolverConfig::cadical_like();
+      } else {
+        std::fprintf(stderr, "--config must be kissat or cadical\n");
+        return 2;
+      }
+    } else if (arg == "--strict") {
+      strict = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  core::SolveServer server(options);
+  server.serve(std::cin, std::cout);
+
+  const core::ServerCounters c = server.counters();
+  const core::CacheCounters cc = server.cache_counters();
+  std::fprintf(stderr,
+               "served %llu requests (%llu SAT, %llu UNSAT, %llu UNKNOWN, "
+               "%llu errors); cache %llu hits / %llu misses / %llu evictions\n",
+               static_cast<unsigned long long>(c.completed),
+               static_cast<unsigned long long>(c.sat),
+               static_cast<unsigned long long>(c.unsat),
+               static_cast<unsigned long long>(c.unknown),
+               static_cast<unsigned long long>(c.errors),
+               static_cast<unsigned long long>(cc.hits),
+               static_cast<unsigned long long>(cc.misses),
+               static_cast<unsigned long long>(cc.evictions));
+
+  if (c.expect_failures != 0) {
+    std::fprintf(stderr, "%llu expect= self-checks failed\n",
+                 static_cast<unsigned long long>(c.expect_failures));
+    return 1;
+  }
+  if (expect_cache_hits >= 0 &&
+      cc.hits < static_cast<std::uint64_t>(expect_cache_hits)) {
+    std::fprintf(stderr, "cache hits %llu < required %ld\n",
+                 static_cast<unsigned long long>(cc.hits), expect_cache_hits);
+    return 1;
+  }
+  if (strict && c.errors != 0) return 1;
+  return 0;
+}

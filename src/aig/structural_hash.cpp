@@ -1,0 +1,66 @@
+#include "aig/structural_hash.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace csat::aig {
+
+namespace {
+
+// Domain-separation seeds: arbitrary odd constants so that e.g. a PI and an
+// AND with coincidentally equal sub-hashes cannot collide by construction.
+constexpr std::uint64_t kConstSeed = 0x9ae16a3b2f90404fULL;
+constexpr std::uint64_t kPiSeed = 0xc3a5c85c97cb3127ULL;
+constexpr std::uint64_t kNegSalt = 0xb492b66fbe98f273ULL;
+constexpr std::uint64_t kShapeSalt = 0x27d4eb2f165667c5ULL;
+
+/// Hash of one fanin/PO edge: the source node's hash, salted when the edge
+/// is complemented.
+std::uint64_t edge_hash(const std::vector<std::uint64_t>& h, Lit l) {
+  return mix64(h[l.node()] ^ (l.is_compl() ? kNegSalt : 0));
+}
+
+}  // namespace
+
+std::uint64_t structural_hash(const Aig& g) {
+  // PIs hash by their *index*: leaves must carry identity, because a hash
+  // that cannot tell inputs apart is a Weisfeiler-Leman-style refinement
+  // strictly coarser than circuit equivalence — it would deterministically
+  // merge non-equisatisfiable circuits that swap same-role signals across
+  // gates, and the result cache would then serve wrong verdicts. With
+  // labeled leaves, a node's hash fingerprints its exact function
+  // unfolding, which is what makes verdict caching sound (see header).
+  std::vector<std::uint64_t> h(g.num_nodes(), 0);
+  h[0] = mix64(kConstSeed);
+  for (std::uint32_t pi : g.pis())
+    h[pi] = mix64(kPiSeed ^ mix64(static_cast<std::uint64_t>(g.pi_index(pi))));
+
+  // live_ands() covers exactly the PO-reachable logic in topological order,
+  // so fanin hashes are always ready and dead nodes never enter the hash.
+  // (sum, xor) of the two edge hashes determines the unordered pair, so the
+  // combination is commutative without losing information.
+  const std::vector<std::uint32_t> live = g.live_ands();
+  for (std::uint32_t n : live) {
+    const std::uint64_t e0 = edge_hash(h, g.fanin0(n));
+    const std::uint64_t e1 = edge_hash(h, g.fanin1(n));
+    h[n] = mix64(mix64(e0 + e1) ^ (e0 ^ e1));
+  }
+
+  // Commutative fold over the PO edges (PO order must not matter), plus the
+  // interface/size shape so e.g. an empty AIG with 3 PIs differs from one
+  // with 4.
+  std::uint64_t po_sum = 0;
+  std::uint64_t po_xor = 0;
+  for (Lit po : g.pos()) {
+    const std::uint64_t e = edge_hash(h, po);
+    po_sum += e;
+    po_xor ^= mix64(e);
+  }
+  const std::uint64_t shape =
+      mix64(kShapeSalt + g.num_pis() * 0x100000001b3ULL +
+            g.num_pos() * 0x1000193ULL + live.size());
+  return mix64(po_sum ^ mix64(po_xor) ^ shape);
+}
+
+}  // namespace csat::aig

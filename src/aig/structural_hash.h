@@ -1,0 +1,43 @@
+#ifndef CSAT_AIG_STRUCTURAL_HASH_H
+#define CSAT_AIG_STRUCTURAL_HASH_H
+
+/// \file structural_hash.h
+/// Order-invariant structural fingerprint of an AIG — the cache key of the
+/// solve server's result cache (core/result_cache.h).
+///
+/// Two AIGs receive the same hash whenever they are the same circuit up to
+///  * node creation order (ids never enter the hash),
+///  * fanin order of each AND (the combiner is commutative, matching AND's
+///    own commutativity),
+///  * primary-output order (PO edge hashes are folded with a commutative
+///    reduction), and
+///  * dead logic (the walk covers exactly the PO-reachable cone).
+///
+/// Primary inputs are hashed by their *index* — deliberately. Leaves must
+/// carry identity: any PI-permutation-invariant scheme is a
+/// Weisfeiler-Leman-style refinement strictly coarser than circuit
+/// equivalence, and constructibly merges non-equisatisfiable circuits
+/// (swap two same-fanout signals across gates), which a verdict cache can
+/// never tolerate. With indexed leaves, equal node hashes pin down equal
+/// function unfoldings, so hash equality implies equisatisfiability up to
+/// genuine 64-bit mixing collisions (~2^-64 per pair — the residual risk
+/// the result cache documents, with per-request `cache=off` as the
+/// opt-out). The flip side: renaming PIs (or resynthesizing the logic)
+/// changes the hash — always a false miss and a redundant solve, never a
+/// wrong verdict.
+
+#include <cstdint>
+
+#include "aig/aig.h"
+
+namespace csat::aig {
+
+/// Order-invariant structural hash of \p g (see file comment for the exact
+/// invariances). Deterministic across runs and platforms; O(nodes) time and
+/// O(nodes) scratch. Thread-safe for concurrent calls on distinct or shared
+/// (const) AIGs.
+[[nodiscard]] std::uint64_t structural_hash(const Aig& g);
+
+}  // namespace csat::aig
+
+#endif  // CSAT_AIG_STRUCTURAL_HASH_H

@@ -1,0 +1,44 @@
+#include "cnf/cnf.h"
+
+#include "common/rng.h"
+
+namespace csat::cnf {
+
+namespace {
+
+using csat::mix64;
+
+// Domain-separation seeds (same scheme as aig/structural_hash.cpp).
+constexpr std::uint64_t kLitSeed = 0x85ebca6b2c2b2ae3ULL;
+constexpr std::uint64_t kClauseSeed = 0xff51afd7ed558ccdULL;
+constexpr std::uint64_t kFormulaSeed = 0xc4ceb9fe1a85ec53ULL;
+
+}  // namespace
+
+std::uint64_t structural_hash(const Cnf& f) {
+  // Clause hash: (sum, xor) over per-literal hashes is commutative, and the
+  // pair pins the literal multiset tightly enough that reordering literals
+  // can never change it. The formula hash folds clause hashes the same way,
+  // making clause order irrelevant too.
+  std::uint64_t clause_sum = 0;
+  std::uint64_t clause_xor = 0;
+  for (std::size_t i = 0; i < f.num_clauses(); ++i) {
+    std::uint64_t lit_sum = 0;
+    std::uint64_t lit_xor = 0;
+    const auto clause = f.clause(i);
+    for (Lit l : clause) {
+      const std::uint64_t ml = mix64(kLitSeed ^ l.x);
+      lit_sum += ml;
+      lit_xor ^= mix64(ml);
+    }
+    const std::uint64_t ch =
+        mix64(kClauseSeed ^ lit_sum ^ mix64(lit_xor) ^ mix64(clause.size()));
+    clause_sum += ch;
+    clause_xor ^= mix64(ch);
+  }
+  return mix64(kFormulaSeed ^ clause_sum ^ mix64(clause_xor) ^
+             mix64(static_cast<std::uint64_t>(f.num_vars()) * 0x100000001b3ULL +
+                 f.num_clauses()));
+}
+
+}  // namespace csat::cnf

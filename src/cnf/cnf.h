@@ -113,6 +113,17 @@ class Cnf {
   std::vector<std::uint32_t> starts_{0};
 };
 
+/// Order-invariant multiset hash of a formula — the raw-CNF cache key of
+/// the solve server's result cache (core/result_cache.h). Two formulas hash
+/// equal whenever they contain the same multiset of clauses, where each
+/// clause is itself a multiset of literals: clause order and literal order
+/// within a clause never matter. Variable *identity* does matter (renaming
+/// variables changes the hash) — canonicalizing under renaming is
+/// graph-isomorphism-hard; structure-level invariance is the AIG hash's job
+/// (aig/structural_hash.h). Deterministic across runs; O(literals) time;
+/// thread-safe (pure function of the formula).
+[[nodiscard]] std::uint64_t structural_hash(const Cnf& f);
+
 }  // namespace csat::cnf
 
 #endif  // CSAT_CNF_CNF_H

@@ -23,6 +23,15 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Stateless splitmix64 finalizer — the one mixing primitive behind every
+/// structural hash (aig/structural_hash.h, cnf::structural_hash, the solve
+/// server's cache keys), kept in one place so the key spaces can never
+/// drift apart.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
 /// xoshiro256** deterministic generator.
 class Rng {
  public:

@@ -37,10 +37,10 @@ struct BatchOptions {
 struct BatchResult {
   /// Per-instance pipeline results, aligned with the input order.
   std::vector<PipelineResult> results;
-  double seconds = 0.0;
+  double seconds = 0.0;  ///< wall-clock time of the whole batch
   std::size_t num_sat = 0;
   std::size_t num_unsat = 0;
-  std::size_t num_unknown = 0;
+  std::size_t num_unknown = 0;  ///< per-instance budget exhaustions
   /// Clause-sharing totals summed over every instance's portfolio workers
   /// (zero for the single-solver backend or with sharing disabled).
   std::uint64_t clauses_exported = 0;
@@ -48,6 +48,10 @@ struct BatchResult {
 };
 
 /// Runs every instance through the configured pipeline on a worker pool.
+/// Blocks until the whole batch is done; all spawned threads are joined
+/// before returning. \p instances is only read. One-shot by design — for a
+/// long-lived streaming pool with per-request budgets and a result cache,
+/// see core/solve_server.h.
 [[nodiscard]] BatchResult run_batch(const std::vector<aig::Aig>& instances,
                                     const BatchOptions& options = {});
 

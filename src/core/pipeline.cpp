@@ -55,12 +55,8 @@ BackendResult run_backend(const cnf::Cnf& formula,
     out.solve = sat::solve_cnf(formula, options.solver, options.limits);
     return out;
   }
-  sat::PortfolioOptions popt;
-  popt.configs =
-      sat::default_portfolio(std::max<std::size_t>(1, options.portfolio_size),
-                             options.solver.seed);
-  popt.configs[0] = options.solver;
-  popt.limits = options.limits;
+  sat::PortfolioOptions popt = sat::make_portfolio_options(
+      options.solver, options.portfolio_size, options.limits);
   popt.deterministic = options.portfolio_deterministic;
   popt.sharing = options.portfolio_sharing;
   auto r = sat::solve_portfolio(formula, popt);

@@ -1,0 +1,54 @@
+#include "core/result_cache.h"
+
+namespace csat::core {
+
+std::optional<CachedVerdict> ResultCache::lookup(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t key, const CachedVerdict& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (value.status == sat::Status::kUnknown) {
+    ++rejected_;
+    return;
+  }
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++insertions_;
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, value);
+  map_.emplace(key, lru_.begin());
+  ++insertions_;
+}
+
+CacheCounters ResultCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheCounters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.insertions = insertions_;
+  c.rejected = rejected_;
+  c.evictions = evictions_;
+  c.size = lru_.size();
+  c.capacity = capacity_;
+  return c;
+}
+
+}  // namespace csat::core

@@ -1,0 +1,95 @@
+#ifndef CSAT_CORE_RESULT_CACHE_H
+#define CSAT_CORE_RESULT_CACHE_H
+
+/// \file result_cache.h
+/// Structural result cache for the solve server (core/solve_server.h).
+///
+/// Maps a 64-bit structural instance hash (aig::structural_hash for circuit
+/// instances, cnf::structural_hash for raw CNF — the two key spaces are
+/// domain-separated by the caller) to a previously computed verdict, with
+/// LRU eviction at a fixed entry capacity.
+///
+/// Only *definitive* verdicts (kSat / kUnsat) are admitted: a definitive
+/// answer is a property of the instance alone, so a hit is valid for any
+/// later budget or backend, while kUnknown merely records that one
+/// particular budget ran out and must never short-circuit a retry with a
+/// larger one. Because keys are fingerprints rather than canonical forms, a
+/// 64-bit collision between different instances would serve a wrong
+/// verdict; the probability is ~2^-64 per pair (see aig/structural_hash.h)
+/// and per-request `cache=off` opts out entirely.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "sat/solver.h"
+
+namespace csat::core {
+
+/// A cached definitive solve outcome. Stats/time describe the original
+/// (miss) solve that produced the verdict, so hits can report what they
+/// saved; seconds are wall-clock seconds.
+struct CachedVerdict {
+  sat::Status status = sat::Status::kUnknown;
+  sat::Stats solver_stats;
+  double solve_seconds = 0.0;
+  /// Witness length of the original solve (PI count for circuit instances,
+  /// variable count for raw CNF); 0 for UNSAT.
+  std::size_t model_size = 0;
+};
+
+/// Monotonic counters, readable while the cache is in use.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        ///< lookups that found nothing
+  std::uint64_t insertions = 0;    ///< definitive verdicts admitted
+  std::uint64_t rejected = 0;      ///< kUnknown verdicts refused
+  std::uint64_t evictions = 0;     ///< LRU entries displaced at capacity
+  std::size_t size = 0;            ///< current entry count
+  std::size_t capacity = 0;
+};
+
+/// Thread-safe LRU verdict cache. All members may be called concurrently
+/// from any number of threads (one internal mutex; operations are O(1)
+/// expected). Entries are owned by the cache; lookup() returns a copy.
+class ResultCache {
+ public:
+  /// \p capacity is the maximum entry count; 0 disables the cache (every
+  /// lookup misses, every insert is dropped without counting an eviction).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached verdict for \p key (refreshing its LRU position),
+  /// or nullopt and counts a miss.
+  std::optional<CachedVerdict> lookup(std::uint64_t key);
+
+  /// Admits a definitive verdict, evicting the least-recently-used entry at
+  /// capacity. Re-inserting an existing key refreshes its value and LRU
+  /// position without eviction. kUnknown verdicts are rejected (counted).
+  void insert(std::uint64_t key, const CachedVerdict& value);
+
+  [[nodiscard]] CacheCounters counters() const;
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, CachedVerdict>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace csat::core
+
+#endif  // CSAT_CORE_RESULT_CACHE_H

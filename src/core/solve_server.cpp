@@ -1,0 +1,695 @@
+#include "core/solve_server.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "aig/aiger_io.h"
+#include "aig/structural_hash.h"
+#include "cnf/dimacs.h"
+#include "cnf/tseitin.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "gen/miter.h"
+#include "gen/random_circuit.h"
+#include "gen/suite.h"
+#include "sat/portfolio.h"
+
+namespace csat::core {
+
+namespace {
+
+constexpr std::uint64_t kNoConflicts = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kNoDecisions = std::numeric_limits<std::uint64_t>::max();
+
+// Cache-key domain separation: an AIG instance and a raw CNF instance hash
+// in different key spaces even if the 64-bit fingerprints collide.
+constexpr std::uint64_t kAigDomain = 0x6369726375697431ULL;  // "circuit1"
+constexpr std::uint64_t kCnfDomain = 0x636e666d73657431ULL;  // "cnfmset1"
+
+using csat::mix64;
+
+const char* status_name(sat::Status s) {
+  switch (s) {
+    case sat::Status::kSat:
+      return "SAT";
+    case sat::Status::kUnsat:
+      return "UNSAT";
+    case sat::Status::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const char* end = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && p == end && !s.empty();
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(s, &used);
+    return used == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Splits "name:arg1:arg2" on ':'.
+std::vector<std::string> split_colon(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = s.find(':', start);
+    parts.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) return parts;
+    start = pos + 1;
+  }
+}
+
+/// A materialized instance, ready to hash-check and solve.
+struct BuiltInstance {
+  cnf::Cnf formula;
+  std::uint64_t key = 0;  ///< domain-separated structural hash
+  std::size_t witness_units = 0;  ///< PI count (circuit) / var count (CNF)
+  bool trivially_sat = false;
+  bool trivially_unsat = false;
+};
+
+BuiltInstance build_from_aig(const aig::Aig& g) {
+  BuiltInstance b;
+  b.key = mix64(aig::structural_hash(g) ^ kAigDomain);
+  auto enc = cnf::tseitin_encode(g);
+  b.formula = std::move(enc.cnf);
+  b.witness_units = g.num_pis();
+  b.trivially_sat = enc.trivially_sat;
+  b.trivially_unsat = enc.trivially_unsat;
+  return b;
+}
+
+BuiltInstance build_from_cnf(cnf::Cnf formula) {
+  BuiltInstance b;
+  b.key = mix64(cnf::structural_hash(formula) ^ kCnfDomain);
+  b.witness_units = formula.num_vars();
+  b.formula = std::move(formula);
+  return b;
+}
+
+cnf::Cnf parse_inline_cnf(const std::string& payload) {
+  cnf::Cnf f;
+  std::istringstream in(payload);
+  std::string tok;
+  std::vector<cnf::Lit> clause;
+  bool open = false;
+  while (in >> tok) {
+    int lit = 0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), lit);
+    if (ec != std::errc{} || p != tok.data() + tok.size())
+      throw std::runtime_error("inline cnf: not a literal: " + tok);
+    if (lit == 0) {
+      f.add_clause(clause);
+      clause.clear();
+      open = false;
+      continue;
+    }
+    const cnf::Lit l = cnf::Lit::from_dimacs(lit);
+    f.ensure_var(l.var());
+    clause.push_back(l);
+    open = true;
+  }
+  if (open) throw std::runtime_error("inline cnf: clause missing terminating 0");
+  return f;
+}
+
+aig::Aig build_family(const std::string& spec) {
+  const auto parts = split_colon(spec);
+  const std::string& name = parts[0];
+  const auto arg = [&](std::size_t i, std::uint64_t fallback,
+                       std::uint64_t lo, std::uint64_t hi) {
+    if (i >= parts.size()) return fallback;
+    std::uint64_t v = 0;
+    if (!parse_u64(parts[i], v) || v < lo || v > hi)
+      throw std::runtime_error("family " + name + ": bad argument " + parts[i]);
+    return v;
+  };
+  if (name == "adder_miter") {
+    if (parts.size() != 2) throw std::runtime_error("family adder_miter:<width>");
+    return gen::make_adder_miter(static_cast<int>(arg(1, 0, 1, 64)));
+  }
+  if (name == "random") {
+    if (parts.size() < 2 || parts.size() > 4)
+      throw std::runtime_error("family random:<pis>[:<gates>[:<seed>]]");
+    gen::RandomAigParams p;
+    p.num_pis = static_cast<int>(arg(1, 8, 1, 4096));
+    p.num_gates = static_cast<int>(arg(2, 100, 0, 1u << 20));
+    return gen::random_aig(p, arg(3, 1, 0, kNoConflicts));
+  }
+  if (name == "suite") {
+    if (parts.size() != 4)
+      throw std::runtime_error("family suite:<count>:<seed>:<index>");
+    gen::SuiteParams p;
+    p.count = static_cast<int>(arg(1, 0, 1, 4096));
+    p.seed = arg(2, 1, 0, kNoConflicts);
+    const auto index = arg(3, 0, 0, static_cast<std::uint64_t>(p.count) - 1);
+    return gen::make_suite(p)[index].circuit;
+  }
+  throw std::runtime_error("unknown family: " + name);
+}
+
+BuiltInstance build_instance(const ServerRequest& request) {
+  switch (request.instance) {
+    case ServerRequest::Instance::kInlineCnf:
+      return build_from_cnf(parse_inline_cnf(request.payload));
+    case ServerRequest::Instance::kDimacsFile:
+      return build_from_cnf(cnf::read_dimacs_file(request.payload));
+    case ServerRequest::Instance::kAigerFile:
+      return build_from_aig(aig::read_aiger_file(request.payload));
+    case ServerRequest::Instance::kFamily:
+      return build_from_aig(build_family(request.payload));
+  }
+  throw std::runtime_error("unreachable instance kind");
+}
+
+}  // namespace
+
+std::string ServerResponse::to_json() const {
+  std::string out = "{\"id\":";
+  append_json_string(out, id);
+  if (!error.empty()) {
+    out += ",\"error\":";
+    append_json_string(out, error);
+    out += '}';
+    return out;
+  }
+  out += ",\"status\":\"";
+  out += status_name(status);
+  out += "\",\"cache\":\"";
+  out += cache;
+  out += "\",\"backend\":\"";
+  out += backend == SolveBackend::kPortfolio ? "portfolio" : "sequential";
+  out += "\",\"seconds\":";
+  append_double(out, seconds);
+  if (cache[0] == 'h') {
+    out += ",\"cached_seconds\":";
+    append_double(out, cached_seconds);
+  }
+  out += ",\"vars\":" + std::to_string(vars);
+  out += ",\"clauses\":" + std::to_string(clauses);
+  out += ",\"model_size\":" + std::to_string(model_size);
+  out += ",\"conflicts\":" + std::to_string(stats.conflicts);
+  out += ",\"decisions\":" + std::to_string(stats.decisions);
+  out += ",\"propagations\":" + std::to_string(stats.propagations);
+  out += ",\"restarts\":" + std::to_string(stats.restarts);
+  if (has_expect) {
+    out += ",\"expect\":\"";
+    out += expect_ok ? "ok" : "mismatch";
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+SolveServer::SolveServer(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (options_.num_workers == 0) {
+    options_.num_workers =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.default_portfolio_size == 0) options_.default_portfolio_size = 1;
+}
+
+SolveServer::~SolveServer() { stop(); }
+
+void SolveServer::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stopping_ = false;
+  cancel_.store(false, std::memory_order_relaxed);
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  running_ = true;
+}
+
+bool SolveServer::submit(ServerRequest request) {
+  start();
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_pop_.wait(lock, [&] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) return false;
+  if (request.id.empty()) {
+    // Built char-by-char: assigning a string literal here trips a GCC 12
+    // -Wrestrict false positive (PR105329) once inlined.
+    request.id.assign(1, 'r');
+    request.id += std::to_string(++next_id_);
+  }
+  queue_.push_back(std::move(request));
+  {
+    const std::lock_guard<std::mutex> clock(counters_mutex_);
+    ++counters_.received;
+  }
+  queue_push_.notify_one();
+  return true;
+}
+
+void SolveServer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] {
+    return stopping_ || (queue_.empty() && active_ == 0);
+  });
+}
+
+void SolveServer::stop() {
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    cancel_.store(true, std::memory_order_relaxed);
+    workers.swap(workers_);
+    queue_push_.notify_all();
+    queue_pop_.notify_all();
+    idle_.notify_all();
+  }
+  in_flight_cv_.notify_all();  // release workers parked on a duplicate
+  for (std::thread& t : workers) t.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+  stopping_ = false;
+  cancel_.store(false, std::memory_order_relaxed);
+}
+
+void SolveServer::worker_loop() {
+  // The persistent solver this worker reuses across requests: reset()
+  // keeps the arena / watch-list / trail capacity warm, so steady-state
+  // sequential solving allocates nothing beyond formula growth.
+  sat::Solver solver(options_.solver);
+  for (;;) {
+    ServerRequest request;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_push_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      queue_pop_.notify_one();
+    }
+
+    ServerResponse response;
+    if (cancel_.load(std::memory_order_relaxed)) {
+      response.id = request.id;
+      response.error = "server stopped before solving";
+    } else {
+      response = process(request, solver);
+    }
+
+    {
+      const std::lock_guard<std::mutex> clock(counters_mutex_);
+      ++counters_.completed;
+      if (!response.error.empty()) {
+        ++counters_.errors;
+      } else {
+        switch (response.status) {
+          case sat::Status::kSat:
+            ++counters_.sat;
+            break;
+          case sat::Status::kUnsat:
+            ++counters_.unsat;
+            break;
+          case sat::Status::kUnknown:
+            ++counters_.unknown;
+            break;
+        }
+        if (response.has_expect && !response.expect_ok)
+          ++counters_.expect_failures;
+      }
+    }
+    emit(response);
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ServerResponse SolveServer::process(ServerRequest& request,
+                                    sat::Solver& solver) {
+  ServerResponse response;
+  response.id = request.id;
+  response.backend = request.backend;
+  Stopwatch watch;
+
+  BuiltInstance built;
+  try {
+    built = build_instance(request);
+  } catch (const std::exception& e) {
+    response.error = e.what();
+    response.seconds = watch.seconds();
+    return response;
+  }
+  response.vars = built.formula.num_vars();
+  response.clauses = built.formula.num_clauses();
+
+  const bool caching = request.use_cache && options_.cache_capacity > 0;
+  response.cache = caching ? "miss" : "off";
+
+  bool served_from_cache = false;
+  bool leader = false;
+  if (caching) {
+    // Lookup and leadership claim are atomic (both under in_flight_mutex_;
+    // leaders publish cache-first, erase-second), so a request can never
+    // miss the cache *and* find no leader for a verdict that was just
+    // published — every duplicate either hits or parks.
+    std::unique_lock<std::mutex> lock(in_flight_mutex_);
+    for (;;) {
+      if (const auto hit = cache_.lookup(built.key)) {
+        response.cache = "hit";
+        response.status = hit->status;
+        response.stats = hit->solver_stats;
+        response.cached_seconds = hit->solve_seconds;
+        response.model_size = hit->model_size;
+        served_from_cache = true;
+        break;
+      }
+      if (in_flight_.insert(built.key).second) {
+        leader = true;  // we solve; duplicates park until our verdict lands
+        break;
+      }
+      // A structurally identical request is already being solved: park
+      // until the leader publishes, then loop to serve the cache hit. If
+      // the leader's verdict was kUnknown (budget ran out) the re-lookup
+      // misses and this worker takes over with its own budget.
+      in_flight_cv_.wait(lock, [&] {
+        return cancel_.load(std::memory_order_relaxed) ||
+               in_flight_.count(built.key) == 0;
+      });
+      if (cancel_.load(std::memory_order_relaxed)) break;  // shutdown: fall
+      // through to a solve that the terminate hook cancels immediately.
+    }
+  }
+
+  if (!served_from_cache) {
+    // Per-request budget fields override the server defaults; the server's
+    // shutdown flag cancels in-flight solves at their next checkpoint.
+    sat::Limits limits = options_.default_limits;
+    if (request.limits.max_conflicts != kNoConflicts)
+      limits.max_conflicts = request.limits.max_conflicts;
+    if (request.limits.max_decisions != kNoDecisions)
+      limits.max_decisions = request.limits.max_decisions;
+    if (!std::isinf(request.limits.max_seconds))
+      limits.max_seconds = request.limits.max_seconds;
+    limits.terminate = &cancel_;
+
+    if (built.trivially_unsat) {
+      response.status = sat::Status::kUnsat;
+    } else if (built.trivially_sat) {
+      response.status = sat::Status::kSat;
+      response.model_size = built.witness_units;
+    } else if (request.backend == SolveBackend::kSingle) {
+      solver.reset();
+      solver.add_formula(built.formula);
+      response.status = solver.solve(limits);
+      response.stats = solver.stats();
+      if (response.status == sat::Status::kSat)
+        response.model_size = built.witness_units;
+    } else {
+      const std::size_t n = request.portfolio_size != 0
+                                ? request.portfolio_size
+                                : options_.default_portfolio_size;
+      const auto popt = sat::make_portfolio_options(options_.solver, n, limits);
+      auto r = sat::solve_portfolio(built.formula, popt);
+      response.status = r.status;
+      response.stats = r.stats;
+      if (response.status == sat::Status::kSat)
+        response.model_size = built.witness_units;
+    }
+
+    // The cache itself rejects (and counts) kUnknown verdicts: an exhausted
+    // budget is not a property of the instance.
+    if (caching) {
+      CachedVerdict verdict;
+      verdict.status = response.status;
+      verdict.solver_stats = response.stats;
+      verdict.solve_seconds = watch.seconds();
+      verdict.model_size = response.model_size;
+      cache_.insert(built.key, verdict);
+    }
+    if (leader) {
+      // Publish *after* the cache insert so a parked duplicate's re-lookup
+      // is guaranteed to find the fresh entry.
+      const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+      in_flight_.erase(built.key);
+      in_flight_cv_.notify_all();
+    }
+  }
+
+  if (request.expect.has_value()) {
+    response.has_expect = true;
+    response.expect_ok = *request.expect == response.status;
+  }
+  response.seconds = watch.seconds();
+  return response;
+}
+
+void SolveServer::emit(const ServerResponse& response) {
+  const std::lock_guard<std::mutex> lock(out_mutex_);
+  if (out_ != nullptr) {
+    *out_ << response.to_json() << '\n';
+    out_->flush();  // a server must not sit on buffered responses
+  }
+  if (options_.on_response) options_.on_response(response);
+}
+
+void SolveServer::emit_stats_line() {
+  const ServerCounters c = counters();
+  const CacheCounters cc = cache_.counters();
+  std::string line = "{\"stats\":{";
+  line += "\"received\":" + std::to_string(c.received);
+  line += ",\"completed\":" + std::to_string(c.completed);
+  line += ",\"errors\":" + std::to_string(c.errors);
+  line += ",\"expect_failures\":" + std::to_string(c.expect_failures);
+  line += ",\"sat\":" + std::to_string(c.sat);
+  line += ",\"unsat\":" + std::to_string(c.unsat);
+  line += ",\"unknown\":" + std::to_string(c.unknown);
+  line += ",\"cache\":{";
+  line += "\"hits\":" + std::to_string(cc.hits);
+  line += ",\"misses\":" + std::to_string(cc.misses);
+  line += ",\"insertions\":" + std::to_string(cc.insertions);
+  line += ",\"evictions\":" + std::to_string(cc.evictions);
+  line += ",\"size\":" + std::to_string(cc.size);
+  line += ",\"capacity\":" + std::to_string(cc.capacity);
+  line += "},\"workers\":" + std::to_string(options_.num_workers);
+  line += "}}";
+  const std::lock_guard<std::mutex> lock(out_mutex_);
+  if (out_ != nullptr) {
+    *out_ << line << '\n';
+    out_->flush();
+  }
+}
+
+ServerCounters SolveServer::counters() const {
+  const std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+std::optional<ServerRequest> SolveServer::parse_request(
+    const std::string& line, std::string& error) {
+  ServerRequest request;
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+  if (verb != "solve") {
+    error = "unknown verb: " + verb;
+    return std::nullopt;
+  }
+
+  bool have_instance = false;
+  const auto set_instance = [&](ServerRequest::Instance kind,
+                                std::string payload) {
+    if (have_instance) {
+      error = "more than one instance spec in request";
+      return false;
+    }
+    request.instance = kind;
+    request.payload = std::move(payload);
+    have_instance = true;
+    return true;
+  };
+
+  std::string tok;
+  while (in >> tok) {
+    if (tok == "cnf") {
+      // Inline DIMACS literal stream: consumes the rest of the line, so it
+      // must be the last token group of the request.
+      std::string rest;
+      std::getline(in, rest);
+      if (!set_instance(ServerRequest::Instance::kInlineCnf, rest))
+        return std::nullopt;
+      break;
+    }
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      error = "malformed token (expected key=value): " + tok;
+      return std::nullopt;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "id") {
+      request.id = value;
+    } else if (key == "backend") {
+      if (value == "sequential") {
+        request.backend = SolveBackend::kSingle;
+      } else if (value == "portfolio") {
+        request.backend = SolveBackend::kPortfolio;
+      } else {
+        error = "backend must be sequential or portfolio";
+        return std::nullopt;
+      }
+    } else if (key == "portfolio") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > 256) {
+        error = "portfolio must be in [1, 256]";
+        return std::nullopt;
+      }
+      request.portfolio_size = static_cast<std::size_t>(v);
+    } else if (key == "max_seconds") {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v > 0.0)) {
+        error = "max_seconds must be a positive number";
+        return std::nullopt;
+      }
+      request.limits.max_seconds = v;
+    } else if (key == "max_conflicts") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v)) {
+        error = "max_conflicts must be a non-negative integer";
+        return std::nullopt;
+      }
+      request.limits.max_conflicts = v;
+    } else if (key == "max_decisions") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v)) {
+        error = "max_decisions must be a non-negative integer";
+        return std::nullopt;
+      }
+      request.limits.max_decisions = v;
+    } else if (key == "cache") {
+      if (value != "on" && value != "off") {
+        error = "cache must be on or off";
+        return std::nullopt;
+      }
+      request.use_cache = value == "on";
+    } else if (key == "expect") {
+      if (value == "sat") {
+        request.expect = sat::Status::kSat;
+      } else if (value == "unsat") {
+        request.expect = sat::Status::kUnsat;
+      } else {
+        error = "expect must be sat or unsat";
+        return std::nullopt;
+      }
+    } else if (key == "family") {
+      if (!set_instance(ServerRequest::Instance::kFamily, value))
+        return std::nullopt;
+    } else if (key == "dimacs") {
+      if (!set_instance(ServerRequest::Instance::kDimacsFile, value))
+        return std::nullopt;
+    } else if (key == "aiger") {
+      if (!set_instance(ServerRequest::Instance::kAigerFile, value))
+        return std::nullopt;
+    } else {
+      error = "unknown key: " + key;
+      return std::nullopt;
+    }
+  }
+  if (!have_instance) {
+    error = "missing instance spec (family= | dimacs= | aiger= | cnf ...)";
+    return std::nullopt;
+  }
+  return request;
+}
+
+void SolveServer::serve(std::istream& in, std::ostream& out) {
+  {
+    const std::lock_guard<std::mutex> lock(out_mutex_);
+    out_ = &out;
+  }
+  start();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::string trimmed = line.substr(first);
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "stats") {
+      // Barrier semantics: a stats report covers every request submitted
+      // before it, so transcripts are reproducible.
+      drain();
+      emit_stats_line();
+      continue;
+    }
+    std::string error;
+    auto request = parse_request(trimmed, error);
+    if (!request.has_value()) {
+      {
+        const std::lock_guard<std::mutex> clock(counters_mutex_);
+        ++counters_.errors;
+      }
+      ServerResponse response;
+      response.id = "?";
+      response.error = error;
+      emit(response);
+      continue;
+    }
+    submit(std::move(*request));
+  }
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(out_mutex_);
+    out_ = nullptr;
+  }
+  stop();
+}
+
+}  // namespace csat::core

@@ -1,0 +1,228 @@
+#ifndef CSAT_CORE_SOLVE_SERVER_H
+#define CSAT_CORE_SOLVE_SERVER_H
+
+/// \file solve_server.h
+/// Incremental solve server: a long-lived worker pool that accepts streamed
+/// solve requests instead of one-shot run_batch() calls.
+///
+/// Where core/batch_runner.h drains a fixed vector of instances and tears
+/// everything down, the server keeps N persistent workers alive across
+/// requests. Each worker owns one sat::Solver that is *reset, not
+/// reallocated* between requests (Solver::reset() keeps the clause arena
+/// and watch-list capacity warm), so steady-state request handling performs
+/// no large allocations. In front of the pool sits a structural result
+/// cache (core/result_cache.h) keyed by aig::structural_hash /
+/// cnf::structural_hash: a re-submitted instance — even one rebuilt in a
+/// different node or clause order — is answered without touching a solver.
+///
+/// Transport is deliberately stream-agnostic: serve(std::istream&,
+/// std::ostream&) runs the line protocol over any pair of streams (stdin/
+/// stdout in examples/solve_server.cpp today, a socket streambuf tomorrow),
+/// and submit() + ServerOptions::on_response bypass text entirely for
+/// in-process use (tests, benches). The request/response line protocol is
+/// specified in docs/PROTOCOL.md.
+///
+/// Request lifecycle (one box per thread; see docs/ARCHITECTURE.md):
+///
+///   reader (serve)          bounded queue           worker pool (N)
+///   ─ parse line ──▶ submit ─▶ [req req req] ─▶ pop ─▶ build instance
+///                 ▲ blocks when full                 ─▶ hash → cache?
+///                                                hit ─▶ respond (no solve)
+///                                          in flight ─▶ park, serve leader's
+///                                                       verdict (solve once)
+///                                               miss ─▶ reset+reuse Solver
+///                                                    ─▶ solve, fill cache
+///                                                    ─▶ respond (JSON line)
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/result_cache.h"
+#include "sat/solver.h"
+
+namespace csat::core {
+
+/// One parsed solve request. Instance payloads are materialized (files
+/// read, families generated, inline DIMACS parsed) by the worker that picks
+/// the request up, so expensive construction parallelizes with solving.
+struct ServerRequest {
+  enum class Instance {
+    kInlineCnf,   ///< payload = DIMACS literal stream ("1 -2 0 2 0")
+    kDimacsFile,  ///< payload = path to a DIMACS CNF file
+    kAigerFile,   ///< payload = path to an AIGER (aag/aig) circuit file
+    kFamily,      ///< payload = generated-family spec ("adder_miter:8", ...)
+  };
+
+  std::string id;  ///< echoed verbatim in the response ("r<n>" when absent)
+  Instance instance = Instance::kInlineCnf;
+  std::string payload;
+  SolveBackend backend = SolveBackend::kSingle;
+  /// Portfolio worker count for backend == kPortfolio; 0 = server default.
+  std::size_t portfolio_size = 0;
+  /// Per-request budget (seconds are wall-clock). Fields left at their
+  /// defaults inherit ServerOptions::default_limits; the server wires its
+  /// shutdown flag into Limits::terminate.
+  sat::Limits limits;
+  bool use_cache = true;
+  /// Self-check: when set, the response's "expect" field reports whether
+  /// the verdict matched, and the server counts mismatches.
+  std::optional<sat::Status> expect;
+};
+
+/// One response, produced exactly once per accepted request (and for every
+/// rejected line when serving a stream). `seconds` is the wall-clock time
+/// this request spent being processed by its worker — build, hash, any
+/// wait for a coalesced in-flight leader, and solve — excluding time spent
+/// queued; `cached_seconds` is the original solve's time when
+/// cache == "hit".
+struct ServerResponse {
+  std::string id;
+  std::string error;  ///< empty = success; else no verdict fields are valid
+  sat::Status status = sat::Status::kUnknown;
+  const char* cache = "off";  ///< "hit" | "miss" | "off"
+  SolveBackend backend = SolveBackend::kSingle;
+  double seconds = 0.0;
+  double cached_seconds = 0.0;
+  sat::Stats stats;
+  std::size_t vars = 0;
+  std::size_t clauses = 0;
+  /// Witness length for SAT verdicts (PI count for circuit instances,
+  /// variable count for raw CNF); 0 otherwise.
+  std::size_t model_size = 0;
+  bool has_expect = false;
+  bool expect_ok = true;
+
+  /// Single-line JSON rendering (no trailing newline), the wire format of
+  /// docs/PROTOCOL.md.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Server-wide monotonic counters; cache counters live in
+/// SolveServer::cache_counters().
+struct ServerCounters {
+  std::uint64_t received = 0;   ///< solve requests accepted into the queue
+  std::uint64_t completed = 0;  ///< responses emitted for accepted requests
+  std::uint64_t errors = 0;     ///< build/parse failures (response had .error)
+  std::uint64_t expect_failures = 0;
+  std::uint64_t sat = 0;
+  std::uint64_t unsat = 0;
+  std::uint64_t unknown = 0;
+};
+
+struct ServerOptions {
+  /// Persistent solver workers; 0 = std::thread::hardware_concurrency().
+  std::size_t num_workers = 0;
+  /// Bounded request queue: submit() blocks once this many requests are
+  /// waiting (back-pressure toward the stream reader).
+  std::size_t queue_capacity = 256;
+  /// Result-cache entries; 0 disables caching entirely.
+  std::size_t cache_capacity = 1024;
+  /// Sequential-backend solver configuration, and the lead (index-0) config
+  /// of portfolio races — mirrors PipelineOptions::solver.
+  sat::SolverConfig solver = sat::SolverConfig::kissat_like();
+  /// Budget applied where a request leaves Limits fields at their defaults.
+  sat::Limits default_limits;
+  std::size_t default_portfolio_size = 4;
+  /// Optional in-process response sink, called once per response from the
+  /// worker that produced it, serialized by an internal mutex (the callback
+  /// may touch shared state). Runs in addition to any serve() stream.
+  std::function<void(const ServerResponse&)> on_response;
+};
+
+/// The long-lived server. Thread model: start() spawns the worker pool;
+/// submit() may be called from any number of producer threads; serve()
+/// is a convenience producer that parses a line stream. stop() cancels
+/// in-flight solves via their Limits::terminate hook and joins the pool —
+/// the object is restartable afterwards. Not copyable or movable.
+class SolveServer {
+ public:
+  explicit SolveServer(ServerOptions options = {});
+  /// Stops the pool (cancelling in-flight work) if still running.
+  ~SolveServer();
+
+  SolveServer(const SolveServer&) = delete;
+  SolveServer& operator=(const SolveServer&) = delete;
+
+  /// Spawns the worker pool. Idempotent while running.
+  void start();
+
+  /// Enqueues a request, blocking while the queue is at capacity. Returns
+  /// false (dropping the request) when the server is stopping. start() is
+  /// called implicitly if needed.
+  bool submit(ServerRequest request);
+
+  /// Blocks until every submitted request has been responded to and all
+  /// workers are idle. New submissions during a drain extend it.
+  void drain();
+
+  /// Drains nothing: sets the shutdown flag (cancelling in-flight solves at
+  /// their next solver checkpoint), wakes all waiters and joins the pool.
+  /// Pending queued requests are answered with an error. Call drain() first
+  /// for a graceful shutdown.
+  void stop();
+
+  /// Runs the line protocol of docs/PROTOCOL.md: reads requests from \p in
+  /// until `quit` or EOF, streams one JSON response line per request to
+  /// \p out (completion order; request ids correlate), handles `stats` as a
+  /// barrier (drains, then reports), then drains and stops the pool.
+  void serve(std::istream& in, std::ostream& out);
+
+  /// Parses one `solve ...` protocol line. Returns nullopt and sets
+  /// \p error on malformed input. Pure function; exposed for tests.
+  static std::optional<ServerRequest> parse_request(const std::string& line,
+                                                    std::string& error);
+
+  [[nodiscard]] ServerCounters counters() const;
+  [[nodiscard]] CacheCounters cache_counters() const { return cache_.counters(); }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  void worker_loop();
+  ServerResponse process(ServerRequest& request, sat::Solver& solver);
+  void emit(const ServerResponse& response);
+  void emit_stats_line();
+
+  ServerOptions options_;
+  ResultCache cache_;
+
+  /// In-flight coalescing ("singleflight"): the cache keys currently being
+  /// solved. A worker whose key is already here parks until the leader
+  /// publishes its verdict, then serves the cache hit — concurrent
+  /// structurally-identical requests solve once, not N times.
+  std::mutex in_flight_mutex_;
+  std::condition_variable in_flight_cv_;
+  std::unordered_set<std::uint64_t> in_flight_;
+
+  std::mutex mutex_;  ///< guards queue_, state below
+  std::condition_variable queue_push_;   ///< signalled on enqueue
+  std::condition_variable queue_pop_;    ///< signalled on dequeue (back-pressure)
+  std::condition_variable idle_;         ///< signalled when a worker finishes
+  std::deque<ServerRequest> queue_;
+  std::size_t active_ = 0;  ///< requests currently being processed
+  bool running_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> cancel_{false};  ///< wired into every solve's terminate
+
+  mutable std::mutex counters_mutex_;
+  ServerCounters counters_;
+  std::uint64_t next_id_ = 0;  ///< for requests submitted without an id
+
+  std::mutex out_mutex_;       ///< serializes stream writes + on_response
+  std::ostream* out_ = nullptr;  ///< serve()'s stream; null outside serve()
+};
+
+}  // namespace csat::core
+
+#endif  // CSAT_CORE_SOLVE_SERVER_H

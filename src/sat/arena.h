@@ -53,6 +53,9 @@ inline constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
 /// storage.
 inline constexpr ClauseRef kClauseRefBinary = 0xFFFFFFFEu;
 
+/// Owned by exactly one Solver and confined to its thread: no internal
+/// locking anywhere. All storage is owned by the arena; Clause handles and
+/// lits() spans are non-owning views into it.
 class ClauseArena {
  public:
   static constexpr std::uint32_t kHeaderWords = 3;
@@ -63,23 +66,30 @@ class ClauseArena {
    public:
     explicit Clause(std::uint32_t* base) : base_(base) {}
 
+    /// Number of literals (>= 3 for every arena clause).
     [[nodiscard]] std::uint32_t size() const { return base_[kSizeWord]; }
     [[nodiscard]] Lit& operator[](std::uint32_t i) {
       CSAT_DCHECK(i < size());
       return lits()[i];
     }
+    /// Non-owning view of the literals; same lifetime rules as the handle.
     [[nodiscard]] std::span<Lit> lits() {
       return {reinterpret_cast<Lit*>(base_ + kHeaderWords), size()};
     }
 
+    /// Learnt (deletable) vs problem (permanent) clause.
     [[nodiscard]] bool learnt() const { return (flags() & kLearntFlag) != 0; }
+    /// Marked dead; storage is reclaimed by the next compact().
     [[nodiscard]] bool garbage() const { return (flags() & kGarbageFlag) != 0; }
     /// Protected learnt clauses (glue tier) are exempt from reduction.
     [[nodiscard]] bool protect() const { return (flags() & kProtectFlag) != 0; }
     void set_protect() { base_[kFlagsWord] |= kProtectFlag; }
 
+    /// Literal-block distance recorded at learn/attach time (capped at
+    /// kMaxLbd); lower = more valuable.
     [[nodiscard]] std::uint32_t lbd() const { return flags() >> kLbdShift; }
 
+    /// Bump-decayed usefulness score driving reduce_db() ranking.
     [[nodiscard]] float activity() const {
       return std::bit_cast<float>(base_[kActivityWord]);
     }
@@ -107,8 +117,11 @@ class ClauseArena {
   /// compaction. The caller must already have dropped its watchers.
   void mark_garbage(ClauseRef ref);
 
+  /// Total arena extent in 32-bit words (headers + literals, live + dead).
   [[nodiscard]] std::size_t size_words() const { return data_.size(); }
+  /// Words occupied by garbage clauses — the payoff of the next compact().
   [[nodiscard]] std::size_t garbage_words() const { return garbage_words_; }
+  /// Clauses not marked garbage.
   [[nodiscard]] std::size_t live_clauses() const { return live_clauses_; }
 
   /// Mark-compact step 1: moves every non-garbage clause into fresh storage
@@ -121,6 +134,17 @@ class ClauseArena {
   [[nodiscard]] ClauseRef forwarded(ClauseRef ref) const;
   /// Mark-compact step 3: frees the pre-compaction storage.
   void compact_release();
+
+  /// Drops every clause but keeps the underlying buffer's heap allocation —
+  /// the warm-reuse path for pooled solvers (Solver::reset()): after a
+  /// clear(), re-adding a formula of similar size allocates nothing.
+  /// Invalidates every outstanding ClauseRef and Clause handle.
+  void clear() {
+    data_.clear();
+    old_.clear();
+    garbage_words_ = 0;
+    live_clauses_ = 0;
+  }
 
  private:
   static constexpr std::uint32_t kSizeWord = 0;

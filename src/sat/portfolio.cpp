@@ -33,6 +33,17 @@ std::vector<SolverConfig> default_portfolio(std::size_t n, std::uint64_t seed) {
   return configs;
 }
 
+PortfolioOptions make_portfolio_options(const SolverConfig& lead,
+                                        std::size_t num_workers,
+                                        const Limits& limits) {
+  PortfolioOptions options;
+  options.configs =
+      default_portfolio(std::max<std::size_t>(1, num_workers), lead.seed);
+  options.configs[0] = lead;
+  options.limits = limits;
+  return options;
+}
+
 PortfolioResult solve_portfolio(const Cnf& formula,
                                 const PortfolioOptions& options) {
   const std::vector<SolverConfig> configs =

@@ -72,10 +72,20 @@ struct PortfolioOptions {
 [[nodiscard]] std::vector<SolverConfig> default_portfolio(
     std::size_t n, std::uint64_t seed = 91648253);
 
+/// PortfolioOptions racing \p num_workers default-diversified configs (at
+/// least 1) with \p lead as the unmodified index-0 configuration —
+/// diversification is seeded from lead.seed, so backends agree on the
+/// answer and differ only in wall-clock time. The shared wiring of the
+/// pipeline's portfolio backend and the solve server; callers layer
+/// deterministic/sharing settings on top.
+[[nodiscard]] PortfolioOptions make_portfolio_options(const SolverConfig& lead,
+                                                      std::size_t num_workers,
+                                                      const Limits& limits);
+
 struct WorkerOutcome {
   Status status = Status::kUnknown;  ///< kUnknown = cancelled or out of budget
-  Stats stats;
-  double seconds = 0.0;
+  Stats stats;          ///< this worker's full search counters
+  double seconds = 0.0;  ///< wall-clock time this worker ran
 };
 
 struct PortfolioResult {
@@ -97,11 +107,14 @@ struct PortfolioResult {
   /// Totals over all workers (zero when sharing was disabled).
   std::uint64_t clauses_exported = 0;
   std::uint64_t clauses_imported = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;  ///< wall-clock time of the whole race
 };
 
-/// Races the portfolio on \p formula. Thread-safe with respect to other
-/// concurrent solves (workers share nothing but the stop flag).
+/// Races the portfolio on \p formula. Blocks the calling thread, spawning
+/// one std::thread per raced config and joining them all before returning
+/// (no threads or references to \p formula outlive the call). Thread-safe
+/// with respect to other concurrent solves (workers share nothing but the
+/// stop flag).
 [[nodiscard]] PortfolioResult solve_portfolio(const Cnf& formula,
                                               const PortfolioOptions& options = {});
 

@@ -25,10 +25,55 @@ std::uint32_t Solver::new_var() {
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(0);
-  watches_.emplace_back();
-  watches_.emplace_back();
+  // After reset() the watch-list vector keeps its high-water size (with
+  // every list emptied) so re-adding variables reuses the lists' buffers.
+  if (watches_.size() < 2 * (static_cast<std::size_t>(v) + 1)) {
+    watches_.emplace_back();
+    watches_.emplace_back();
+  }
   heap_insert(v);
   return v;
+}
+
+void Solver::reset() {
+  stats_ = Stats{};
+  ok_ = true;
+  arena_.clear();
+  learnt_refs_.clear();
+  // Keep the outer watch vector at its high-water size: entries past the
+  // next formula's variable count stay empty and are skipped by the
+  // full-database sweeps, while new_var() reuses the inner lists' buffers.
+  for (auto& ws : watches_) ws.clear();
+  value_.clear();
+  phase_.clear();
+  level_.clear();
+  reason_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  qhead_ = 0;
+  activity_.clear();
+  var_inc_ = 1.0;
+  clause_inc_ = 1.0;
+  heap_.clear();
+  heap_pos_.clear();
+  seen_.clear();
+  analyze_stack_.clear();
+  analyze_clear_.clear();
+  conflicts_at_restart_ = 0;
+  luby_index_ = 0;
+  luby_budget_ = 0;
+  ema_fast_ = 0.0;
+  ema_slow_ = 0.0;
+  reduce_budget_ = 0;
+  reduce_count_ = 0;
+  exchange_ = nullptr;
+  exchange_id_ = 0;
+  sharing_ = SharingLimits{};
+  exchange_cursor_ = ClauseExchange::Cursor{};
+  shared_hashes_.clear();
+  rng_state_ = config_.seed | 1;
+  model_.clear();
+  assumptions_.clear();
 }
 
 void Solver::add_formula(const Cnf& formula) {

@@ -45,8 +45,12 @@ namespace csat::sat {
 using cnf::Cnf;
 using cnf::Lit;
 
+/// Verdict of a solve: kUnknown means a budget/cancellation stopped the
+/// search, never that the formula is undecidable.
 enum class Status { kSat, kUnsat, kUnknown };
 
+/// Tunable CDCL heuristics. A plain value object: cheap to copy, no
+/// ownership; the solver keeps its own copy at construction.
 struct SolverConfig {
   enum class Restarts { kLuby, kEma };
 
@@ -97,12 +101,14 @@ struct SolverConfig {
   }
 };
 
+/// Monotonic search counters. They accumulate across successive solve()
+/// calls on the same solver and are zeroed only by Solver::reset().
 struct Stats {
   std::uint64_t decisions = 0;   ///< "branching times" — the paper's complexity proxy
-  std::uint64_t conflicts = 0;
-  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;   ///< conflicts found by propagation
+  std::uint64_t propagations = 0;  ///< literals enqueued by BCP
   std::uint64_t restarts = 0;
-  std::uint64_t learned = 0;
+  std::uint64_t learned = 0;  ///< clauses learned from conflict analysis
   /// Literals across all clauses learned from conflicts (units included);
   /// learnt_literals / conflicts is the mean learned-clause length.
   std::uint64_t learnt_literals = 0;
@@ -129,10 +135,14 @@ struct SharingLimits {
   std::uint32_t max_size = 8;
 };
 
+/// Per-solve() search budget; defaults mean "unlimited". Budgets are
+/// checked at conflict/restart checkpoints, so overshoot is bounded by one
+/// propagation round. Exhaustion yields Status::kUnknown with the solver
+/// state intact — a later solve() resumes where the search left off.
 struct Limits {
   std::uint64_t max_conflicts = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_decisions = std::numeric_limits<std::uint64_t>::max();
-  double max_seconds = std::numeric_limits<double>::infinity();
+  double max_seconds = std::numeric_limits<double>::infinity();  ///< wall-clock
   /// External cancellation (portfolio first-finisher-wins): when non-null
   /// and set, solve() backtracks to level 0 and returns Status::kUnknown at
   /// the next checkpoint. The solver only reads through this pointer; the
@@ -140,14 +150,23 @@ struct Limits {
   const std::atomic<bool>* terminate = nullptr;
 };
 
+/// Thread model: a Solver instance is confined to one thread at a time (no
+/// internal locking); distinct instances never share state, so any number
+/// may run concurrently. The only cross-thread channels are the read-only
+/// Limits::terminate flag and a connected ClauseExchange (which is
+/// internally synchronized and must outlive the connection). The solver
+/// owns its entire clause database; Cnf inputs are copied in.
 class Solver {
  public:
   explicit Solver(SolverConfig config = {});
 
-  /// Adds all clauses (and variables) of \p formula.
+  /// Adds all clauses (and variables) of \p formula. Must be called at
+  /// decision level 0 (i.e. outside solve()).
   void add_formula(const Cnf& formula);
 
+  /// Declares the next variable (0-based) and returns its index.
   std::uint32_t new_var();
+  /// Number of declared variables; literals range over [0, 2 * num_vars()).
   [[nodiscard]] std::uint32_t num_vars() const {
     return static_cast<std::uint32_t>(level_.size());
   }
@@ -161,6 +180,17 @@ class Solver {
 
   /// Runs CDCL search until a verdict or a budget limit.
   Status solve(const Limits& limits = {});
+
+  /// Returns the solver to its freshly-constructed state (no variables, no
+  /// clauses, zeroed stats, RNG re-seeded from the config) while keeping
+  /// every internal buffer's heap allocation: the clause arena, watch
+  /// lists, trail, heap and analyze scratch all retain their grown
+  /// capacity. This is the warm-reuse path for long-lived server workers
+  /// (core/solve_server.h) — reset(); add_formula(next); solve() costs no
+  /// reallocation once the buffers have grown to workload size. Config is
+  /// preserved; any connected clause exchange is disconnected. Must not be
+  /// called while solve() is running.
+  void reset();
 
   /// Solves under temporary assumptions (decided, in order, before any free
   /// decision). kUnsat means unsatisfiable *under the assumptions*; the
@@ -186,10 +216,14 @@ class Solver {
   /// UNSAT at the root.
   bool import_clauses();
 
-  /// Complete model (indexed by variable) — valid after Status::kSat.
+  /// Complete model (indexed by variable) — valid after Status::kSat and
+  /// until the next solve()/reset(); the reference stays owned by the
+  /// solver.
   [[nodiscard]] const std::vector<bool>& model() const { return model_; }
 
+  /// Counters accumulated since construction or the last reset().
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// The configuration this solver was constructed with (immutable).
   [[nodiscard]] const SolverConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Docs link checker: fails when a relative markdown link target in
+# README.md or docs/*.md does not exist on disk. External (http/https/
+# mailto) links and pure #anchors are skipped; a target's own #fragment is
+# stripped before the existence check. Runs from any directory (resolves
+# the repo root from its own location); registered as the `docs.links`
+# ctest and as a CI step.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for file in README.md docs/*.md; do
+  [ -f "$file" ] || continue
+  dir=$(dirname "$file")
+  # Extract every ](target) occurrence, one per line.
+  for target in $(grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//'); do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "$file: broken relative link -> $target" >&2
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "doc links OK"
+fi
+exit $status
