@@ -11,10 +11,28 @@
 //   ./fig4_runtime [--instances=N] [--seed=S] [--train=EPISODES]
 //                  [--solver=kissat|cadical|both] [--budget=CONFLICTS]
 //                  [--timeout-charge=SECONDS] [--full]
+//
+// External corpus mode (SAT Competition / HWMCC directory layouts):
+//
+//   ./fig4_runtime --corpus=DIR [--budget=...] [--timeout-charge=...]
+//                  [--solver=...]
+//
+// recursively ingests every *.cnf / *.dimacs (DIMACS) and *.aag / *.aig
+// (AIGER, ASCII or binary) file under DIR. AIGER circuits run through the
+// Baseline and Comp. preprocessing arms; DIMACS formulas have no circuit
+// structure left, so they are solved directly (reported as their own
+// "Direct" arm). Unparseable files are reported and skipped.
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
 
+#include "aig/aiger_io.h"
 #include "bench_util.h"
+#include "cnf/dimacs.h"
+#include "common/stopwatch.h"
 #include "core/pipeline.h"
 #include "gen/suite.h"
 #include "rl/embedding.h"
@@ -63,6 +81,108 @@ ArmTotals run_arm(const std::vector<gen::Instance>& suite,
   return t;
 }
 
+// --- external corpus ingestion ----------------------------------------------
+
+struct CorpusFiles {
+  std::vector<std::string> aiger;
+  std::vector<std::string> dimacs;
+};
+
+CorpusFiles scan_corpus(const std::string& dir) {
+  CorpusFiles files;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot scan corpus %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return files;  // empty -> run_corpus reports and exits nonzero
+  }
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".aag" || ext == ".aig") {
+      files.aiger.push_back(entry.path().string());
+    } else if (ext == ".cnf" || ext == ".dimacs") {
+      files.dimacs.push_back(entry.path().string());
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort for
+  // reproducible reports.
+  std::sort(files.aiger.begin(), files.aiger.end());
+  std::sort(files.dimacs.begin(), files.dimacs.end());
+  return files;
+}
+
+int run_corpus(const std::string& dir, const sat::SolverConfig& solver,
+               const char* solver_name, std::uint64_t budget,
+               double timeout_charge) {
+  const CorpusFiles files = scan_corpus(dir);
+  std::printf("corpus %s: %zu AIGER, %zu DIMACS files (solver %s)\n", dir.c_str(),
+              files.aiger.size(), files.dimacs.size(), solver_name);
+  if (files.aiger.empty() && files.dimacs.empty()) {
+    std::fprintf(stderr, "no *.aag/*.aig/*.cnf/*.dimacs files under %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  int skipped = 0;
+
+  // AIGER circuits go through the real preprocessing arms.
+  if (!files.aiger.empty()) {
+    ArmTotals base, comp;
+    std::vector<gen::Instance> suite;
+    suite.reserve(files.aiger.size());
+    for (const std::string& path : files.aiger) {
+      try {
+        suite.push_back(
+            {path, aig::read_aiger_file(path), gen::Instance::Kind::kLec});
+      } catch (const aig::AigerError& e) {
+        std::fprintf(stderr, "skip %s: %s\n", path.c_str(), e.what());
+        ++skipped;
+      }
+    }
+    base = run_arm(suite, core::PipelineMode::kBaseline, solver, budget,
+                   timeout_charge, nullptr);
+    comp = run_arm(suite, core::PipelineMode::kComp, solver, budget,
+                   timeout_charge, nullptr);
+    std::printf("--- AIGER circuits (%zu) ---\n", suite.size());
+    bench::print_cactus("Baseline", base.runtimes, base.solved, timeout_charge);
+    bench::print_cactus("Comp.", comp.runtimes, comp.solved, timeout_charge);
+  }
+
+  // DIMACS formulas have no circuit left to preprocess: solve directly.
+  if (!files.dimacs.empty()) {
+    ArmTotals direct;
+    for (const std::string& path : files.dimacs) {
+      try {
+        const cnf::Cnf f = cnf::read_dimacs_file(path);
+        sat::Limits limits;
+        limits.max_conflicts = budget;
+        limits.max_seconds = timeout_charge;
+        Stopwatch watch;
+        const auto r = sat::solve_cnf(f, solver, limits);
+        const double secs = watch.seconds();
+        if (r.status == sat::Status::kUnknown) {
+          direct.runtimes.push_back(timeout_charge);
+          direct.total += timeout_charge;
+        } else {
+          ++direct.solved;
+          direct.runtimes.push_back(secs);
+          direct.total += secs;
+        }
+      } catch (const cnf::DimacsError& e) {
+        std::fprintf(stderr, "skip %s: %s\n", path.c_str(), e.what());
+        ++skipped;
+      }
+    }
+    std::printf("--- DIMACS formulas (%zu) ---\n", direct.runtimes.size());
+    bench::print_cactus("Direct", direct.runtimes, direct.solved,
+                        timeout_charge);
+  }
+  if (skipped > 0) std::printf("(%d unparseable files skipped)\n", skipped);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +197,16 @@ int main(int argc, char** argv) {
   const double timeout_charge =
       static_cast<double>(flags.get_int("timeout-charge", full ? 120 : 10));
   const std::string solver_sel = flags.get_string("solver", "both");
+
+  const std::string corpus = flags.get_string("corpus", "");
+  if (!corpus.empty()) {
+    const bool cadical = solver_sel == "cadical";
+    return run_corpus(corpus,
+                      cadical ? sat::SolverConfig::cadical_like()
+                              : sat::SolverConfig::kissat_like(),
+                      cadical ? "cadical-like" : "kissat-like", budget,
+                      timeout_charge);
+  }
 
   std::printf("=== Fig. 4: runtime comparison (Baseline / Comp. / Ours) ===\n");
   std::printf("(%d test instances, budget %llu conflicts, timeout charge %.0fs)\n\n",

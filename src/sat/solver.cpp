@@ -1,6 +1,8 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 #include "common/luby.h"
@@ -11,9 +13,38 @@ namespace csat::sat {
 
 namespace {
 constexpr Lit kLitUndef = Lit(std::numeric_limits<std::uint32_t>::max());
-}
 
-Solver::Solver(SolverConfig config) : config_(config), rng_state_(config.seed | 1) {}
+/// CSAT_FORCE_INPROCESSING=1 forces chrono + vivification on (with an
+/// aggressive vivify cadence) for every solver regardless of its config —
+/// the sanitizer CI lanes set it so the trail bookkeeping and the fixpoint
+/// import run under ASan/TSan even in suites that ablate them off.
+bool force_inprocessing() {
+  static const bool forced = [] {
+    const char* env = std::getenv("CSAT_FORCE_INPROCESSING");
+    const bool on = env != nullptr && env[0] != '\0' && env[0] != '0';
+    if (on) {
+      // Announce once: this overrides explicit solver configs (ablation
+      // runs in a shell with the CI env leaked would otherwise silently
+      // measure the wrong configuration).
+      std::fprintf(stderr,
+                   "csat: CSAT_FORCE_INPROCESSING=1 — forcing chrono + "
+                   "vivification on in every solver\n");
+    }
+    return on;
+  }();
+  return forced;
+}
+}  // namespace
+
+Solver::Solver(SolverConfig config) : config_(config), rng_state_(config.seed | 1) {
+  if (force_inprocessing()) {
+    config_.chrono = true;
+    config_.vivify = true;
+    config_.vivify_interval = std::min<std::uint64_t>(config_.vivify_interval, 200);
+    config_.vivify_effort_permille =
+        std::max<std::uint32_t>(config_.vivify_effort_permille, 200);
+  }
+}
 
 std::uint32_t Solver::new_var() {
   const std::uint32_t v = num_vars();
@@ -66,10 +97,19 @@ void Solver::reset() {
   ema_slow_ = 0.0;
   reduce_budget_ = 0;
   reduce_count_ = 0;
+  vivify_conflicts_at_ = 0;
+  vivify_props_at_ = 0;
+  vivify_lits_.clear();
+  vivify_kept_.clear();
+  vivify_active_ = false;
+  chrono_dirty_ = false;
   exchange_ = nullptr;
   exchange_id_ = 0;
   sharing_ = SharingLimits{};
   exchange_cursor_ = ClauseExchange::Cursor{};
+  export_lbd_ = 0;
+  adapt_lost_ = 0;
+  adapt_seen_ = 0;
   shared_hashes_.clear();
   rng_state_ = config_.seed | 1;
   model_.clear();
@@ -165,12 +205,14 @@ Solver::Reason Solver::attach_clause(std::span<const Lit> lits, bool learnt,
   return Reason::clause(cref);
 }
 
-void Solver::enqueue(Lit l, Reason reason) {
+void Solver::enqueue_at(Lit l, Reason reason, std::uint32_t lev) {
   CSAT_DCHECK(value(l) == kUnknown);
+  CSAT_DCHECK(lev <= decision_level());
   value_[l.x] = kTrue;
   value_[(!l).x] = kFalse;
-  level_[l.var()] = decision_level();
+  level_[l.var()] = lev;
   reason_[l.var()] = reason;
+  if (lev < decision_level()) chrono_dirty_ = true;
   trail_.push_back(l);
 }
 
@@ -244,17 +286,31 @@ Solver::Conflict Solver::propagate() {
 void Solver::backtrack(std::uint32_t target) {
   if (decision_level() <= target) return;
   const std::uint32_t limit = trail_lim_[target];
-  for (std::size_t i = trail_.size(); i-- > limit;) {
-    const std::uint32_t v = trail_[i].var();
-    if (config_.phase_saving) phase_[v] = var_value(v);
-    value_[v << 1] = kUnknown;
-    value_[(v << 1) | 1] = kUnknown;
-    reason_[v] = Reason::none();
-    if (heap_pos_[v] < 0) heap_insert(v);
+  // Literals assigned out of order (chrono: recorded level <= target while
+  // sitting in a higher segment) survive the backtrack: compact them to the
+  // start of the open segment and re-propagate them, which re-derives any
+  // consequences the unassignments above invalidated.
+  std::size_t keep = limit;
+  for (std::size_t i = limit; i < trail_.size(); ++i) {
+    const Lit l = trail_[i];
+    const std::uint32_t v = l.var();
+    if (level_[v] > target) {
+      if (config_.phase_saving && !vivify_active_) phase_[v] = var_value(v);
+      value_[v << 1] = kUnknown;
+      value_[(v << 1) | 1] = kUnknown;
+      reason_[v] = Reason::none();
+      if (heap_pos_[v] < 0) heap_insert(v);
+    } else {
+      trail_[keep++] = l;
+    }
   }
-  trail_.resize(limit);
+  trail_.resize(keep);
   trail_lim_.resize(target);
   qhead_ = limit;
+  // At level 0 every surviving literal is a root assignment: the trail is
+  // in order again and the conflict-level scan can stand down until the
+  // next out-of-order enqueue.
+  if (target == 0) chrono_dirty_ = false;
 }
 
 std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
@@ -313,7 +369,18 @@ void Solver::analyze(const Conflict& confl, std::vector<Lit>& learnt,
     } else {
       CSAT_DCHECK(cr != kClauseRefUndef);
       ClauseArena::Clause c = arena_[cr];
-      if (c.learnt()) bump_clause(c);
+      if (c.learnt()) {
+        bump_clause(c);
+        if (config_.dynamic_lbd) {
+          // Clauses that keep resolving conflicts at lower LBD rank better
+          // in reduce_db. Deliberately no promotion into the *protected*
+          // tier: permanent protection from recomputed LBDs bloats the DB
+          // on shallow searches (every clause looks like glue when the
+          // whole search fits in 30 levels).
+          const std::uint32_t lbd_now = compute_lbd(c.lits());
+          if (lbd_now < c.lbd()) c.set_lbd(lbd_now);
+        }
+      }
       clits = c.lits();
     }
     const std::size_t start = (p == kLitUndef) ? 0 : 1;
@@ -329,7 +396,13 @@ void Solver::analyze(const Conflict& confl, std::vector<Lit>& learnt,
         learnt.push_back(q);
     }
     // Walk the trail back to the next marked literal of the current level.
-    while (!seen_[trail_[--index].var()]) {
+    // The level check matters under chrono: literals marked at *lower*
+    // levels (future learnt-clause literals) can sit above current-level
+    // ones in the trail when assignments are out of order, and must be
+    // stepped over, not resolved.
+    for (;;) {
+      const std::uint32_t v = trail_[--index].var();
+      if (seen_[v] && level_[v] >= decision_level()) break;
     }
     p = trail_[index];
     const Reason r = reason_[p.var()];
@@ -406,6 +479,237 @@ bool Solver::lit_redundant(Lit lit, std::uint32_t abstract_levels) {
       }
     }
   }
+  return true;
+}
+
+Solver::ConflictLevel Solver::find_conflict_level(const Conflict& confl) {
+  ConflictLevel out;
+  const auto account = [&](Lit l) {
+    const std::uint32_t lev = level_[l.var()];
+    if (lev > out.level) {
+      out.forced_level = out.level;
+      out.level = lev;
+      out.at_level = 1;
+      out.forced = l;
+    } else if (lev == out.level) {
+      ++out.at_level;
+    } else if (lev > out.forced_level) {
+      out.forced_level = lev;
+    }
+  };
+  if (confl.is_binary()) {
+    account(confl.a);
+    account(confl.b);
+  } else {
+    for (const Lit l : arena_[confl.cref].lits()) account(l);
+  }
+  return out;
+}
+
+void Solver::make_watched_first(ClauseRef cref, Lit l) {
+  ClauseArena::Clause c = arena_[cref];
+  if (c[0] == l) return;
+  if (c[1] == l) {
+    // Both positions are watched; swapping them moves no watch-list entry.
+    std::swap(c[0], c[1]);
+    return;
+  }
+  const Lit old0 = c[0];
+  const std::uint32_t size = c.size();
+  for (std::uint32_t k = 2; k < size; ++k) {
+    if (c[k] == l) {
+      c[k] = old0;
+      c[0] = l;
+      break;
+    }
+  }
+  CSAT_DCHECK(c[0] == l);
+  auto& ws = watches_[(!old0).x];
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    if (ws[i].cref == cref) {
+      ws.erase(ws.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  watches_[(!l).x].push_back({cref, c[1]});
+}
+
+void Solver::detach_clause(ClauseRef cref) {
+  ClauseArena::Clause c = arena_[cref];
+  for (int w = 0; w < 2; ++w) {
+    auto& ws = watches_[(!c[static_cast<std::uint32_t>(w)]).x];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        ws.erase(ws.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::reason_locked(ClauseRef cref) {
+  const Lit first = arena_[cref][0];
+  const Reason r = reason_[first.var()];
+  return value(first) == kTrue && r.is_clause() && r.cref == cref;
+}
+
+// --- vivification ------------------------------------------------------------
+
+bool Solver::vivify_pass() {
+  CSAT_CHECK_MSG(decision_level() == 0, "vivification runs at level 0 only");
+  if (!ok_) return false;
+  // Reach the level-0 propagation fixpoint first: a chrono restart can
+  // leave kept out-of-order literals queued behind qhead_.
+  if (!propagate().is_none()) {
+    ok_ = false;
+    return false;
+  }
+
+  // Candidates: learnt tier-2 clauses (LBD above the protected glue band —
+  // glue clauses are already tight) that were never vivified before, in
+  // (LBD asc, activity desc) order, then optionally untried irredundant
+  // clauses in arena order. The once-only bit bounds both total vivify
+  // effort and the watch-order perturbation re-propagation causes.
+  // Reason-locked clauses are skipped: their literals anchor level-0
+  // assignments.
+  std::vector<ClauseRef> candidates;
+  candidates.reserve(learnt_refs_.size());
+  for (ClauseRef cr : learnt_refs_) {
+    ClauseArena::Clause c = arena_[cr];
+    if (c.garbage() || c.vivify_tried() || c.lbd() <= config_.glue_keep ||
+        reason_locked(cr)) {
+      continue;
+    }
+    candidates.push_back(cr);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](ClauseRef a, ClauseRef b) {
+              ClauseArena::Clause ca = arena_[a];
+              ClauseArena::Clause cb = arena_[b];
+              if (ca.lbd() != cb.lbd()) return ca.lbd() < cb.lbd();
+              if (ca.activity() != cb.activity())
+                return ca.activity() > cb.activity();
+              return a < b;
+            });
+  if (config_.vivify_irredundant) {
+    arena_.for_each_clause([&](ClauseRef cr) {
+      ClauseArena::Clause c = arena_[cr];
+      if (!c.learnt() && !c.vivify_tried() && !reason_locked(cr))
+        candidates.push_back(cr);
+    });
+  }
+
+  // Budget: a configurable permille share of the propagations performed
+  // since the previous pass, so inprocessing effort tracks search effort.
+  const std::uint64_t since = stats_.propagations - vivify_props_at_;
+  const std::uint64_t budget = std::max<std::uint64_t>(
+      2000, since * config_.vivify_effort_permille / 1000);
+  const std::uint64_t stop_at = stats_.propagations + budget;
+
+  bool removed_any = false;
+  for (ClauseRef cr : candidates) {
+    if (!ok_ || stats_.propagations >= stop_at) break;
+    if (arena_[cr].garbage() || reason_locked(cr)) continue;  // pass-local churn
+    if (!vivify_one(cr)) break;
+    if (arena_[cr].garbage()) removed_any = true;
+  }
+  if (removed_any) {
+    std::erase_if(learnt_refs_,
+                  [&](ClauseRef cr) { return arena_[cr].garbage(); });
+  }
+  vivify_props_at_ = stats_.propagations;
+  return ok_;
+}
+
+bool Solver::vivify_one(ClauseRef cref) {
+  CSAT_DCHECK(decision_level() == 0);
+  ClauseArena::Clause c = arena_[cref];
+  const std::uint32_t old_size = c.size();
+  const bool learnt = c.learnt();
+  c.set_vivify_tried();
+  vivify_lits_.assign(c.lits().begin(), c.lits().end());
+  // Detached so the clause cannot propagate (and thus vacuously "imply")
+  // its own literals while we re-derive them.
+  detach_clause(cref);
+
+  std::vector<Lit>& kept = vivify_kept_;
+  kept.clear();
+  bool satisfied_at_root = false;
+  vivify_active_ = true;
+  for (std::size_t i = 0; i < vivify_lits_.size(); ++i) {
+    const Lit l = vivify_lits_[i];
+    const std::uint8_t v = value(l);
+    if (v == kTrue) {
+      if (level_[l.var()] == 0) {
+        satisfied_at_root = true;  // subsumed by the root assignment
+      } else {
+        // ~kept implies l, so (kept | l) subsumes the clause: keep l and
+        // drop every remaining literal.
+        kept.push_back(l);
+      }
+      break;
+    }
+    if (v == kFalse) continue;  // root- or prefix-falsified: drop l
+    kept.push_back(l);
+    if (i + 1 == vivify_lits_.size()) break;  // no tail left to drop
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(!l, Reason::none());
+    if (!propagate().is_none()) break;  // ~kept implies bottom: keep = clause
+  }
+  backtrack(0);
+  vivify_active_ = false;
+
+  if (satisfied_at_root) {
+    arena_.mark_garbage(cref);
+    ++stats_.removed;
+    return true;
+  }
+  const std::size_t new_size = kept.size();
+  if (new_size == old_size) {  // nothing strengthened: reattach unchanged
+    watches_[(!vivify_lits_[0]).x].push_back({cref, vivify_lits_[1]});
+    watches_[(!vivify_lits_[1]).x].push_back({cref, vivify_lits_[0]});
+    return true;
+  }
+  ++stats_.vivified_clauses;
+  stats_.vivify_strengthened_lits += old_size - new_size;
+  if (new_size == 0) {
+    // Every literal was root-false: the clause is empty at the root.
+    arena_.mark_garbage(cref);
+    ok_ = false;
+    return false;
+  }
+  if (new_size == 1) {
+    arena_.mark_garbage(cref);
+    if (value(kept[0]) == kFalse) {
+      ok_ = false;
+      return false;
+    }
+    if (value(kept[0]) == kUnknown) enqueue(kept[0], Reason::none());
+    if (!propagate().is_none()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  if (new_size == 2) {
+    // Strengthened to a binary: binaries live inline in the watch lists
+    // (permanent, no arena storage) — retire the arena clause.
+    arena_.mark_garbage(cref);
+    watches_[(!kept[0]).x].push_back({kClauseRefBinary, kept[1]});
+    watches_[(!kept[1]).x].push_back({kClauseRefBinary, kept[0]});
+    return true;
+  }
+  // >= 3 literals: rewrite and shrink in place — the ClauseRef stays valid,
+  // so nothing outside the watch lists needs fixing up.
+  std::span<Lit> lits = c.lits();
+  for (std::size_t i = 0; i < new_size; ++i) lits[i] = kept[i];
+  arena_.shrink(cref, static_cast<std::uint32_t>(new_size));
+  const std::uint32_t new_lbd =
+      std::min(c.lbd(), static_cast<std::uint32_t>(new_size));
+  c.set_lbd(new_lbd);
+  if (learnt && new_lbd <= config_.glue_keep) c.set_protect();
+  watches_[(!kept[0]).x].push_back({cref, kept[1]});
+  watches_[(!kept[1]).x].push_back({cref, kept[0]});
   return true;
 }
 
@@ -493,6 +797,35 @@ bool Solver::should_restart() const {
          ema_fast_ > config_.ema_margin * ema_slow_;
 }
 
+std::uint32_t Solver::reusable_trail_level() {
+  if (!assumptions_.empty() || decision_level() == 0) return 0;
+  // The restarted search redoes decisions best-activity-first with saved
+  // phases, so the prefix up to the first decision that (a) has activity
+  // at most the best unassigned variable's, (b) diverges from its saved
+  // phase, or (c) is an out-of-order import artifact, would be rebuilt
+  // literal for literal — keep it.
+  while (!heap_.empty() && var_value(heap_[0]) != kUnknown) heap_pop();
+  if (heap_.empty()) return decision_level();
+  const double limit = activity_[heap_[0]];
+  std::uint32_t keep = 0;
+  double prev_activity = std::numeric_limits<double>::infinity();
+  while (keep < decision_level()) {
+    const std::uint32_t start = trail_lim_[keep];
+    if (start >= trail_.size()) break;  // empty level (chrono bookkeeping)
+    const Lit dec = trail_[start];
+    const std::uint32_t v = dec.var();
+    if (!reason_[v].is_none() || level_[v] != keep + 1) break;
+    // Strict descending-activity match: the kept decisions must be exactly
+    // the sequence a fresh pick_branch would redo (best-first), or the
+    // "reused" prefix silently diverges from a true restart.
+    if (activity_[v] <= limit || activity_[v] >= prev_activity) break;
+    if (dec != Lit::make(v, phase_[v] == kFalse)) break;
+    prev_activity = activity_[v];
+    ++keep;
+  }
+  return keep;
+}
+
 void Solver::reduce_db() {
   ++stats_.reductions;
   // Delete the worse half of deletable learnt clauses (high LBD first, low
@@ -500,15 +833,10 @@ void Solver::reduce_db() {
   // LBD <= glue_keep), inline binary and reason-locked clauses survive.
   // learnt_refs_ holds no garbage on entry: marked clauses are erased below
   // in the same cycle.
-  auto locked = [&](ClauseRef cr) {
-    const Lit first = arena_[cr][0];
-    const Reason r = reason_[first.var()];
-    return value(first) == kTrue && r.is_clause() && r.cref == cr;
-  };
   std::vector<ClauseRef> deletable;
   for (ClauseRef cr : learnt_refs_) {
     ClauseArena::Clause c = arena_[cr];
-    if (c.protect() || locked(cr)) continue;
+    if (c.protect() || reason_locked(cr)) continue;
     deletable.push_back(cr);
   }
   std::sort(deletable.begin(), deletable.end(), [&](ClauseRef a, ClauseRef b) {
@@ -573,12 +901,37 @@ void Solver::connect_exchange(ClauseExchange* exchange, std::size_t worker_id,
   exchange_id_ = worker_id;
   sharing_ = sharing;
   exchange_cursor_ = {};
+  export_lbd_ = sharing.max_lbd;
+  adapt_lost_ = 0;
+  adapt_seen_ = 0;
   shared_hashes_.clear();
+}
+
+void Solver::adapt_sharing(const ClauseExchange::DrainStats& drained) {
+  adapt_lost_ += drained.lost;
+  adapt_seen_ += drained.lost + drained.delivered + drained.skipped;
+  if (adapt_seen_ < 256) return;  // wait for a meaningful pressure window
+  // Lost tickets mean producers lapped this consumer — the ring is flooded,
+  // so tighten this worker's export filter; a clean window means headroom,
+  // so drift back toward the loose end of the band.
+  const std::uint32_t lo =
+      std::min(sharing_.adaptive_min_lbd, sharing_.adaptive_max_lbd);
+  const std::uint32_t hi =
+      std::max(sharing_.adaptive_min_lbd, sharing_.adaptive_max_lbd);
+  if (adapt_lost_ * 10 >= adapt_seen_) {  // >= 10% of the window lost
+    if (export_lbd_ > lo) --export_lbd_;
+  } else if (adapt_lost_ * 100 <= adapt_seen_) {  // <= 1% lost
+    if (export_lbd_ < hi) ++export_lbd_;
+  }
+  adapt_lost_ = 0;
+  adapt_seen_ = 0;
 }
 
 void Solver::export_clause(std::span<const Lit> lits, std::uint32_t lbd) {
   CSAT_DCHECK(exchange_ != nullptr);
-  if (lbd > sharing_.max_lbd || lits.size() > sharing_.max_size) return;
+  const std::uint32_t max_lbd =
+      sharing_.adaptive ? export_lbd_ : sharing_.max_lbd;
+  if (lbd > max_lbd || lits.size() > sharing_.max_size) return;
   if (shared_hashes_.size() >= kMaxSharedHashes) shared_hashes_.clear();
   if (!shared_hashes_.insert(clause_hash(lits)).second) return;
   exchange_->publish(exchange_id_, lits, lbd);
@@ -623,6 +976,7 @@ bool Solver::import_clauses() {
         import_one(lits, lbd);
       });
   stats_.import_lost += drained.lost;
+  if (sharing_.adaptive) adapt_sharing(drained);
   if (ok_ && !propagate().is_none()) ok_ = false;
   return ok_;
 }
@@ -660,15 +1014,57 @@ Status Solver::solve(const Limits& limits) {
         ok_ = false;
         return Status::kUnsat;
       }
+      if (config_.chrono && chrono_dirty_) {
+        // With out-of-order assignments on the trail the conflict's true
+        // level can sit below the decision level: drop to it before
+        // analysis. With an in-order trail (chrono_dirty_ clear) the
+        // conflict level is the decision level by construction and the
+        // scan is skipped.
+        const ConflictLevel cl = find_conflict_level(confl);
+        if (cl.level == 0) {
+          ok_ = false;
+          return Status::kUnsat;
+        }
+        if (cl.at_level == 1 && cl.level < decision_level()) {
+          // A missed lower-level propagation (possible only with
+          // out-of-order assignments on the trail) surfaced as a conflict:
+          // one level below the conflict level the clause is unit, so
+          // propagate its single conflict-level literal out of order from
+          // the conflict clause itself instead of learning a duplicate. A
+          // single-literal conflict *at* the decision level stays with
+          // first-UIP analysis — its learnt clause gets minimized, which
+          // the bare conflict clause would not be.
+          backtrack(cl.level - 1);
+          Reason reason;
+          if (confl.is_binary()) {
+            reason = Reason::binary(cl.forced == confl.a ? confl.b : confl.a);
+          } else {
+            make_watched_first(confl.cref, cl.forced);
+            reason = Reason::clause(confl.cref);
+          }
+          enqueue_at(cl.forced, reason, cl.forced_level);
+          continue;
+        }
+        backtrack(cl.level);
+      }
       std::uint32_t bt_level = 0;
       std::uint32_t lbd = 0;
       analyze(confl, learnt, bt_level, lbd);
-      backtrack(bt_level);
+      std::uint32_t target = bt_level;
+      if (config_.chrono &&
+          decision_level() - bt_level > config_.chrono_threshold) {
+        // Far backjump: keep the trail prefix intact (it would be
+        // re-propagated verbatim) and assert the UIP out of order.
+        target = decision_level() - 1;
+        ++stats_.chrono_backtracks;
+      }
+      backtrack(target);
       stats_.learnt_literals += learnt.size();
       if (learnt.size() == 1) {
-        enqueue(learnt[0], Reason::none());
+        enqueue_at(learnt[0], Reason::none(), 0);
       } else {
-        enqueue(learnt[0], attach_clause(learnt, /*learnt=*/true, lbd));
+        enqueue_at(learnt[0], attach_clause(learnt, /*learnt=*/true, lbd),
+                   bt_level);
       }
       if (exchange_ != nullptr) export_clause(learnt, lbd);
       decay_var_activity();
@@ -684,6 +1080,14 @@ Status Solver::solve(const Limits& limits) {
       continue;
     }
 
+    // Level-0 propagation fixpoint between restarts: a cheap opportunity to
+    // drain the exchange early instead of waiting for the next restart.
+    if (decision_level() == 0 && sharing_.import_at_fixpoint &&
+        has_pending_import()) {
+      if (!import_clauses()) return Status::kUnsat;
+      continue;  // imported clauses may propagate: find the new fixpoint
+    }
+
     if (stats_.conflicts >= limits.max_conflicts ||
         stats_.decisions >= limits.max_decisions ||
         (limits.max_seconds != std::numeric_limits<double>::infinity() &&
@@ -694,8 +1098,27 @@ Status Solver::solve(const Limits& limits) {
 
     if (should_restart()) {
       ++stats_.restarts;
-      backtrack(0);
-      if (!import_clauses()) return Status::kUnsat;
+      const bool vivify_due =
+          config_.vivify &&
+          stats_.conflicts - vivify_conflicts_at_ >= config_.vivify_interval;
+      // Inprocessing (import, vivification) needs level 0; plain restarts
+      // with chrono on reuse the trail prefix the restarted search would
+      // redo decision-for-decision.
+      std::uint32_t reuse = 0;
+      if (config_.chrono && config_.restart_reuse_trail && !vivify_due &&
+          !has_pending_import()) {
+        reuse = reusable_trail_level();
+      }
+      backtrack(reuse);
+      if (reuse == 0) {
+        if (!import_clauses()) return Status::kUnsat;
+        if (vivify_due) {
+          vivify_conflicts_at_ = stats_.conflicts;
+          if (!vivify_pass()) return Status::kUnsat;
+        }
+      } else {
+        ++stats_.reused_trails;
+      }
       conflicts_at_restart_ = stats_.conflicts;
       if (config_.restarts == SolverConfig::Restarts::kLuby)
         luby_budget_ = luby(++luby_index_) * config_.luby_unit;

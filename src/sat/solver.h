@@ -12,6 +12,37 @@
 /// LBD/activity-driven learnt clause database reduction with mark-compact
 /// garbage collection.
 ///
+/// Inprocessing (all SolverConfig toggles):
+///  * Chronological backtracking: when first-UIP analysis asks for a
+///    backjump more than chrono_threshold levels below the conflict level,
+///    the solver backtracks only one level and keeps the intact trail
+///    prefix instead of redoing its propagation. Trail invariants with
+///    chrono on: a literal's recorded level may be *lower* than the
+///    decision level of the trail segment holding it (out-of-order
+///    assignment — asserting literals are enqueued at their true asserting
+///    level), every literal of level k still sits at or above the start of
+///    segment k, and backtrack(target) keeps every literal with level <=
+///    target, compacting survivors to the segment start and re-propagating
+///    them. A conflict's true level can therefore sit below the decision
+///    level; analysis first drops to it, and a conflict clause with a
+///    single literal at that level is a missed lower-level propagation —
+///    repaired by backtracking one more level and propagating that literal
+///    out of order from the conflict clause (no clause is learned).
+///  * Clause vivification: at restart boundaries, under a propagation
+///    budget proportional to search effort, learnt (optionally also
+///    irredundant) clauses are re-propagated literal by literal and
+///    strengthened or deleted in place in the arena (ClauseArena::shrink),
+///    with LBD and the protected glue tier re-stamped.
+///  * Clause-exchange import at every decision-level-0 propagation
+///    fixpoint (not just restarts), plus per-worker adaptive glue export
+///    thresholds driven by observed ring pressure (SharingLimits).
+///
+/// Inprocessing phase ordering at a restart boundary:
+///   restart backtrack(0) -> import fixpoint (import_clauses) -> vivify
+///   under budget (vivify_pass) -> resume search; reduce_db keeps its own
+///   conflict-count cadence. Vivification and import both require (and
+///   assert) decision level 0.
+///
 /// Memory model: clauses of >= 3 literals are packed header+literals in one
 /// contiguous std::uint32_t arena and addressed by 32-bit ClauseRef
 /// offsets. Binary clauses have no clause object at all — the watch-list
@@ -80,6 +111,41 @@ struct SolverConfig {
 
   std::uint64_t seed = 91648253;
 
+  /// --- inprocessing levers (see the file comment for semantics) ---
+  /// Chronological backtracking master switch.
+  bool chrono = true;
+  /// Backjumps deeper than this many levels below the conflict level are
+  /// truncated to a single-level backtrack (CaDiCaL's chronolevelim). The
+  /// default is deliberately above this suite's trail depths: measured on
+  /// bench/sat_micro, truncation that actually fires costs conflicts on
+  /// these shallow searches (see ROADMAP), so the default reserves it for
+  /// the deep-trail instances it was designed for while the restart-side
+  /// trail reuse carries the wins here.
+  std::uint32_t chrono_threshold = 500;
+  /// Restart trail reuse (needs chrono's out-of-order bookkeeping): a
+  /// restart backtracks only to the first decision the restarted search
+  /// would make differently (van der Tak et al.) instead of to level 0, so
+  /// the reused prefix is never re-propagated. Restarts with inprocessing
+  /// work pending (import, vivification) still go to level 0.
+  bool restart_reuse_trail = true;
+  /// Clause vivification at restart boundaries.
+  bool vivify = true;
+  /// Conflicts between vivification passes.
+  std::uint64_t vivify_interval = 3000;
+  /// Per-pass propagation budget, as a permille share of the propagations
+  /// performed since the previous pass (floor 2000), so vivification effort
+  /// scales with search effort instead of dominating small solves.
+  std::uint32_t vivify_effort_permille = 50;
+  /// Also vivify irredundant (problem) clauses, shrinking the formula
+  /// itself. Off by default: learnt clauses pay off faster per propagation.
+  bool vivify_irredundant = false;
+  /// Glucose-style dynamic tier maintenance: when conflict analysis
+  /// resolves a learnt clause, its LBD is recomputed against the current
+  /// levels and re-stamped when improved, sharpening reduce_db ranking.
+  /// Off by default: on the shallow searches of this suite the re-ranking
+  /// reshuffles deletion order for no measured net win (see ROADMAP).
+  bool dynamic_lbd = false;
+
   /// Stand-in for Kissat 4.0: aggressive EMA restarts, fast variable decay.
   static SolverConfig kissat_like() {
     SolverConfig c;
@@ -119,6 +185,18 @@ struct Stats {
   std::uint64_t arena_gcs = 0;
   std::uint64_t minimized_lits = 0;
   std::uint64_t max_decision_level = 0;
+  /// Backjumps truncated to one level by chronological backtracking (the
+  /// trail prefix between the asserting level and the conflict level was
+  /// kept instead of re-propagated).
+  std::uint64_t chrono_backtracks = 0;
+  /// Restarts that kept a non-empty trail prefix instead of re-propagating
+  /// it from level 0 (chrono's restart-side twin).
+  std::uint64_t reused_trails = 0;
+  /// Clauses strengthened (shrunk in place) by vivification; root-satisfied
+  /// clauses vivification deletes outright count under `removed`.
+  std::uint64_t vivified_clauses = 0;
+  /// Literals removed from clauses by vivification.
+  std::uint64_t vivify_strengthened_lits = 0;
   /// Clause sharing (zero unless connected to a ClauseExchange).
   std::uint64_t exported = 0;  ///< learnt clauses published to the exchange
   std::uint64_t imported = 0;  ///< foreign clauses attached to this solver
@@ -133,6 +211,18 @@ struct Stats {
 struct SharingLimits {
   std::uint32_t max_lbd = 2;
   std::uint32_t max_size = 8;
+  /// Adaptive glue export: the worker starts at max_lbd and tightens or
+  /// loosens its own effective LBD filter inside
+  /// [adaptive_min_lbd, adaptive_max_lbd] from the import_lost share it
+  /// observes while draining (ring pressure), so loose filters flooding the
+  /// ring self-correct instead of degrading every worker.
+  bool adaptive = false;
+  std::uint32_t adaptive_min_lbd = 1;
+  std::uint32_t adaptive_max_lbd = 4;
+  /// Drain the exchange at every decision-level-0 propagation fixpoint, not
+  /// only at restart boundaries: level-0 visits between restarts are cheap
+  /// import opportunities that shorten the foreign-clause latency.
+  bool import_at_fixpoint = true;
 };
 
 /// Per-solve() search budget; defaults mean "unlimited". Budgets are
@@ -273,8 +363,17 @@ class Solver {
   [[nodiscard]] std::uint8_t var_value(std::uint32_t v) const {
     return value_[v << 1];
   }
-  void enqueue(Lit l, Reason reason);
+  /// Assigns \p l true at an explicit trail level. With chronological
+  /// backtracking, \p lev may be below the current decision level
+  /// (out-of-order assignment: asserting and forced literals are recorded
+  /// at their true asserting level).
+  void enqueue_at(Lit l, Reason reason, std::uint32_t lev);
+  void enqueue(Lit l, Reason reason) { enqueue_at(l, reason, decision_level()); }
   Conflict propagate();
+  /// Unassigns every literal with level > \p level. Literals assigned
+  /// out-of-order below that (chrono) survive: they are compacted to the
+  /// start of the open segment and re-queued for propagation, which repairs
+  /// any watch work their unassigned consequences invalidated.
   void backtrack(std::uint32_t level);
   [[nodiscard]] std::uint32_t decision_level() const {
     return static_cast<std::uint32_t>(trail_lim_.size());
@@ -285,6 +384,18 @@ class Solver {
                std::uint32_t& bt_level, std::uint32_t& lbd);
   [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
   [[nodiscard]] std::uint32_t compute_lbd(std::span<const Lit> lits);
+  /// True level of a conflict under chrono (the maximum literal level in
+  /// the conflict clause — possibly below the decision level), the number
+  /// of clause literals at that level, the single such literal when that
+  /// count is 1 (a missed lower-level propagation), and the maximum level
+  /// of the remaining literals (the forced literal's asserting level).
+  struct ConflictLevel {
+    std::uint32_t level = 0;
+    std::uint32_t at_level = 0;
+    Lit forced{};
+    std::uint32_t forced_level = 0;
+  };
+  [[nodiscard]] ConflictLevel find_conflict_level(const Conflict& confl);
 
   // --- decisions ---
   Lit pick_branch();
@@ -318,16 +429,54 @@ class Solver {
   void purge_garbage_watchers();
   /// Mark-compact GC: relocates live clauses and remaps every watcher,
   /// reason and learnt reference. Reason clauses are protected from
-  /// deletion by reduce_db(), so forwarding is always defined for them.
+  /// deletion by reduce_db() and skipped by vivify_pass(), so forwarding is
+  /// always defined for them.
   void collect_garbage();
+  /// Removes the two watcher entries of an arena clause (vivification
+  /// temporarily detaches the clause it re-propagates so it cannot act as
+  /// its own reason); watch-list order is preserved for determinism.
+  void detach_clause(ClauseRef cref);
+  /// Moves \p l into watch position 0 of an arena clause, fixing up the
+  /// watch lists when \p l was unwatched. Used by the chrono forced path,
+  /// which turns the conflict clause into the reason of its single
+  /// conflict-level literal (reasons keep their implied literal at slot 0).
+  void make_watched_first(ClauseRef cref, Lit l);
+
+  // --- vivification ---
+  /// One inprocessing pass at decision level 0: re-propagates candidate
+  /// clauses under the propagation budget, strengthening them in place.
+  /// Returns false when a vivified unit/empty clause proves UNSAT.
+  bool vivify_pass();
+  /// Vivifies one detached clause given its literal snapshot; leaves the
+  /// solver back at decision level 0 and reattaches, shrinks, rewrites as
+  /// binary/unit, or deletes the clause. Returns false on root UNSAT.
+  bool vivify_one(ClauseRef cref);
+  /// Whether the clause is the reason of its first literal's assignment —
+  /// reduce_db() and vivify_pass() must leave such clauses untouched.
+  [[nodiscard]] bool reason_locked(ClauseRef cref);
 
   // --- restarts ---
   [[nodiscard]] bool should_restart() const;
   void on_conflict_for_restart(std::uint32_t lbd);
+  /// Deepest decision level whose prefix the restarted search would rebuild
+  /// verbatim (every kept decision has higher EVSIDS activity than the best
+  /// unassigned variable and matches its saved phase) — restarting to that
+  /// level instead of 0 skips the redundant re-propagation. Returns 0 when
+  /// assumptions are active (their levels must be re-decided in order).
+  [[nodiscard]] std::uint32_t reusable_trail_level();
 
   // --- clause sharing ---
   void export_clause(std::span<const Lit> lits, std::uint32_t lbd);
   void import_one(std::span<const Lit> lits, std::uint32_t lbd);
+  /// Cheap check (one atomic load) whether the exchange holds tickets this
+  /// worker has not drained — gates the level-0 fixpoint import.
+  [[nodiscard]] bool has_pending_import() const {
+    return exchange_ != nullptr &&
+           exchange_->published() > exchange_cursor_.next;
+  }
+  /// Adaptive glue export: folds one drain's delivered/lost counts into the
+  /// pressure window and moves export_lbd_ inside the configured band.
+  void adapt_sharing(const ClauseExchange::DrainStats& drained);
 
   SolverConfig config_;
   Stats stats_;
@@ -367,11 +516,31 @@ class Solver {
   std::uint64_t reduce_budget_ = 0;
   std::uint64_t reduce_count_ = 0;
 
+  // vivification state (conflict/propagation marks of the last pass)
+  std::uint64_t vivify_conflicts_at_ = 0;
+  std::uint64_t vivify_props_at_ = 0;
+  std::vector<Lit> vivify_lits_;  // literal snapshot of the clause in hand
+  std::vector<Lit> vivify_kept_;  // surviving literals
+  /// Set while vivify assumptions are on the trail: their backtrack must
+  /// not clobber the search's saved phases.
+  bool vivify_active_ = false;
+  /// True while the trail may hold out-of-order assignments (set by any
+  /// below-decision-level enqueue, cleared when a backtrack reaches level
+  /// 0). While clear, every conflict's level equals the decision level by
+  /// construction and the per-conflict level scan is skipped.
+  bool chrono_dirty_ = false;
+
   // clause-sharing state
   ClauseExchange* exchange_ = nullptr;
   std::size_t exchange_id_ = 0;
   SharingLimits sharing_;
   ClauseExchange::Cursor exchange_cursor_;
+  /// Effective export LBD filter: sharing_.max_lbd, moved inside the
+  /// adaptive band by adapt_sharing() when sharing_.adaptive is set.
+  std::uint32_t export_lbd_ = 0;
+  /// Ring-pressure window for adapt_sharing(): lost vs total tickets seen.
+  std::uint64_t adapt_lost_ = 0;
+  std::uint64_t adapt_seen_ = 0;
   /// Hashes of clauses this solver already published or imported, so the
   /// same clause (normally) never crosses the exchange twice for this
   /// worker. Cleared when it reaches kMaxSharedHashes: dedup is

@@ -123,7 +123,7 @@ std::vector<Cube> isop(const TruthTable& on, const TruthTable& upper) {
   std::vector<Cube> cubes;
   if (on.num_vars() <= 6) {
     const std::uint64_t full = Word64::mask(on.num_vars());
-    const std::uint64_t cover = isop_rec64(on.bits6() & full,
+    [[maybe_unused]] const std::uint64_t cover = isop_rec64(on.bits6() & full,
                                            upper.bits6() & full, full,
                                            on.num_vars(), cubes);
     CSAT_DCHECK((on.bits6() & ~cover & full) == 0);

@@ -140,6 +140,71 @@ TEST(FuzzDifferential, GcChurnUnderSharing) {
   }
 }
 
+TEST(FuzzDifferential, InprocessingLeverMatrix) {
+  // chrono x vivify x adaptive-sharing axes: every lever combination must
+  // agree with the all-off sequential baseline, sequentially and through a
+  // 4-worker portfolio, and every SAT verdict's model must check out.
+  struct Levers {
+    bool chrono;
+    bool vivify;
+    bool adaptive;
+  };
+  const Levers combos[] = {
+      {true, false, false}, {false, true, false}, {true, true, false},
+      {true, true, true},
+  };
+  Rng rng(0x1E7E85);
+  for (int i = 0; i < 40; ++i) {
+    const int vars = 20 + static_cast<int>(rng.next_below(31));
+    const double ratio = 3.6 + 0.01 * static_cast<double>(rng.next_below(141));
+    const cnf::Cnf f = random_3sat(
+        vars, static_cast<int>(vars * ratio), rng.next_u64());
+    sat::SolverConfig off = sat::SolverConfig::kissat_like();
+    off.chrono = false;
+    off.vivify = false;
+    const auto baseline = sat::solve_cnf(f, off);
+    ASSERT_NE(baseline.status, sat::Status::kUnknown) << i;
+    if (baseline.status == sat::Status::kSat) {
+      EXPECT_TRUE(check_model(f, baseline.model)) << i;
+    }
+    for (const Levers& lv : combos) {
+      // Sequential with the lever set, on aggressive schedules so the
+      // levers actually fire on these small instances.
+      sat::SolverConfig on = sat::SolverConfig::kissat_like();
+      on.chrono = lv.chrono;
+      on.chrono_threshold = 2;
+      on.vivify = lv.vivify;
+      on.vivify_interval = 50;
+      const auto seq = sat::solve_cnf(f, on);
+      EXPECT_EQ(seq.status, baseline.status)
+          << i << " chrono=" << lv.chrono << " vivify=" << lv.vivify;
+      if (seq.status == sat::Status::kSat) {
+        EXPECT_TRUE(check_model(f, seq.model)) << i;
+      }
+      // Portfolio: diversified workers all with the lever set, plus the
+      // sharing-side levers (fixpoint import, adaptive glue export).
+      sat::PortfolioOptions opt;
+      opt.configs = sat::default_portfolio(4);
+      for (auto& cfg : opt.configs) {
+        cfg.chrono = lv.chrono;
+        cfg.chrono_threshold = 2;
+        cfg.vivify = lv.vivify;
+        cfg.vivify_interval = 50;
+      }
+      opt.sharing.enabled = true;
+      opt.sharing.adaptive = lv.adaptive;
+      opt.sharing.import_at_fixpoint = lv.adaptive;
+      const auto par = sat::solve_portfolio(f, opt);
+      EXPECT_EQ(par.status, baseline.status)
+          << i << " chrono=" << lv.chrono << " vivify=" << lv.vivify
+          << " adaptive=" << lv.adaptive;
+      if (par.status == sat::Status::kSat) {
+        EXPECT_TRUE(check_model(f, par.model)) << i;
+      }
+    }
+  }
+}
+
 TEST(FuzzDifferential, SharingUnderTinyRingAndAggressiveFilters) {
   // Stress the overwrite path: a 16-slot ring with a generous LBD filter
   // floods the exchange, so imports race overwrites constantly. Verdicts

@@ -1,0 +1,259 @@
+// Inprocessing stress tests: clause vivification and chronological
+// backtracking under aggressive schedules. Verdicts are cross-checked
+// against brute force on small instances — a vivification that strengthens
+// a clause to something *not* implied by the formula, or a chrono trail
+// bookkeeping slip, flips verdicts here. GC-churn configurations run
+// vivification concurrently with constant reduce_db()/mark-compact cycles
+// so reason-locked and shrunk-in-place clauses get exercised under the
+// ASan lane's memory checking.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sat/portfolio.h"
+#include "sat/solver.h"
+#include "test_formulas.h"
+
+namespace csat::sat {
+namespace {
+
+using cnf::Cnf;
+using test::check_model;
+using test::pigeonhole;
+using test::random_3sat;
+
+/// Brute-force satisfiability for formulas with <= 24 variables.
+bool brute_force_sat(const Cnf& f) {
+  CSAT_CHECK(f.num_vars() <= 24);
+  std::vector<bool> model(f.num_vars());
+  for (std::uint64_t m = 0; m < (1ULL << f.num_vars()); ++m) {
+    for (std::uint32_t v = 0; v < f.num_vars(); ++v) model[v] = (m >> v) & 1;
+    if (f.satisfied_by(model)) return true;
+  }
+  return false;
+}
+
+/// Vivification on every restart with an effectively unlimited budget, and
+/// frequent restarts so passes actually happen on small instances.
+SolverConfig aggressive_vivify_config() {
+  SolverConfig cfg;
+  cfg.vivify = true;
+  cfg.vivify_interval = 1;
+  cfg.vivify_effort_permille = 1000;
+  cfg.restarts = SolverConfig::Restarts::kLuby;
+  cfg.luby_unit = 8;
+  return cfg;
+}
+
+TEST(Vivify, StrengthenedClausesStayImplied) {
+  // If a vivified clause were not implied by the formula, some instance in
+  // this sweep would flip its verdict against brute force (a too-strong
+  // clause can only cut solutions, turning SAT into UNSAT, and a corrupted
+  // clause DB derails UNSAT proofs into bogus models).
+  Rng rng(0x71F1);
+  const SolverConfig cfg = aggressive_vivify_config();
+  std::uint64_t vivified = 0;
+  for (int i = 0; i < 60; ++i) {
+    const int vars = 12 + static_cast<int>(rng.next_below(8));
+    const int clauses =
+        static_cast<int>(vars * (3.6 + 1.4 * rng.next_double()));
+    const Cnf f = random_3sat(vars, clauses, rng.next_u64());
+    Solver solver(cfg);
+    solver.add_formula(f);
+    const Status status = solver.solve();
+    EXPECT_EQ(status == Status::kSat, brute_force_sat(f)) << "iter=" << i;
+    if (status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, solver.model())) << "iter=" << i;
+    }
+    vivified += solver.stats().vivified_clauses;
+  }
+  // The sweep must actually exercise strengthening, or the implication
+  // check above is vacuous.
+  EXPECT_GT(vivified, 0u);
+}
+
+TEST(Vivify, IrredundantVivificationStaysSound) {
+  // vivify_irredundant shrinks the *problem* clauses themselves; the
+  // strengthened formula must stay equisatisfiable.
+  Rng rng(0x1BBED);
+  SolverConfig cfg = aggressive_vivify_config();
+  cfg.vivify_irredundant = true;
+  for (int i = 0; i < 40; ++i) {
+    const int vars = 10 + static_cast<int>(rng.next_below(9));
+    const int clauses =
+        static_cast<int>(vars * (3.5 + 1.5 * rng.next_double()));
+    const Cnf f = random_3sat(vars, clauses, rng.next_u64());
+    const auto r = solve_cnf(f, cfg);
+    EXPECT_EQ(r.status == Status::kSat, brute_force_sat(f)) << "iter=" << i;
+    if (r.status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, r.model)) << "iter=" << i;
+    }
+  }
+}
+
+TEST(Vivify, SurvivesGcChurnWithReasonLockedClauses) {
+  // reduce_db every few dozen conflicts (constant mark-compact relocation)
+  // while vivification shrinks clauses in place between restarts: stale
+  // ClauseRefs, watcher slips or a vivified reason clause all fault under
+  // ASan and flip verdicts here.
+  Rng rng(0x6CC);
+  SolverConfig cfg = aggressive_vivify_config();
+  cfg.reduce_first = 40;
+  cfg.reduce_increment = 10;
+  for (int i = 0; i < 40; ++i) {
+    const int vars = 12 + static_cast<int>(rng.next_below(9));
+    const int clauses =
+        static_cast<int>(vars * (3.6 + 1.4 * rng.next_double()));
+    const Cnf f = random_3sat(vars, clauses, rng.next_u64());
+    const auto r = solve_cnf(f, cfg);
+    EXPECT_EQ(r.status == Status::kSat, brute_force_sat(f)) << "iter=" << i;
+    if (r.status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, r.model)) << "iter=" << i;
+    }
+  }
+  // Crafted UNSAT family under the same churn: deletions must never eat a
+  // clause the proof still needs.
+  for (int holes = 4; holes <= 6; ++holes) {
+    const auto r = solve_cnf(pigeonhole(holes), cfg);
+    EXPECT_EQ(r.status, Status::kUnsat) << "holes=" << holes;
+  }
+}
+
+TEST(Vivify, PigeonholeStatsReportStrengthening) {
+  // Pigeonhole learnt clauses carry removable literals; an aggressive pass
+  // must find some and account them consistently.
+  SolverConfig cfg = aggressive_vivify_config();
+  Solver solver(cfg);
+  solver.add_formula(pigeonhole(6));
+  EXPECT_EQ(solver.solve(), Status::kUnsat);
+  const Stats& s = solver.stats();
+  EXPECT_GT(s.vivified_clauses, 0u);
+  EXPECT_GE(s.vivify_strengthened_lits, s.vivified_clauses);
+}
+
+TEST(Chrono, ForcedAndTruncatedBacktracksMatchBruteForce) {
+  // chrono_threshold = 0 truncates every non-trivial backjump, maximizing
+  // out-of-order assignments, missed-propagation conflicts (the forced
+  // path) and conflict-level recomputation.
+  Rng rng(0xC4090);
+  SolverConfig cfg;
+  cfg.chrono = true;
+  cfg.chrono_threshold = 0;
+  cfg.vivify = true;
+  cfg.vivify_interval = 50;
+  for (int i = 0; i < 60; ++i) {
+    const int vars = 12 + static_cast<int>(rng.next_below(9));
+    const int clauses =
+        static_cast<int>(vars * (3.6 + 1.4 * rng.next_double()));
+    const Cnf f = random_3sat(vars, clauses, rng.next_u64());
+    Solver solver(cfg);
+    solver.add_formula(f);
+    const Status status = solver.solve();
+    EXPECT_EQ(status == Status::kSat, brute_force_sat(f)) << "iter=" << i;
+    if (status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, solver.model())) << "iter=" << i;
+    }
+  }
+}
+
+TEST(Chrono, AlwaysChronoProvesPigeonhole) {
+  SolverConfig cfg;
+  cfg.chrono = true;
+  cfg.chrono_threshold = 0;
+  for (int holes = 4; holes <= 7; ++holes) {
+    Solver solver(cfg);
+    solver.add_formula(pigeonhole(holes));
+    EXPECT_EQ(solver.solve(), Status::kUnsat) << "holes=" << holes;
+    if (holes == 7) {
+      EXPECT_GT(solver.stats().chrono_backtracks, 0u);
+    }
+  }
+}
+
+TEST(Chrono, AssumptionSolvesStaySoundWithInprocessing) {
+  // solve_assuming under chrono + vivification (the incremental ATPG
+  // path): verdicts under assumptions must match appending the assumptions
+  // as units to a fresh formula.
+  Rng rng(0xA55);
+  SolverConfig cfg;
+  cfg.chrono = true;
+  cfg.chrono_threshold = 2;
+  cfg.vivify = true;
+  cfg.vivify_interval = 20;
+  for (int i = 0; i < 30; ++i) {
+    const int vars = 12 + static_cast<int>(rng.next_below(7));
+    const int clauses =
+        static_cast<int>(vars * (3.8 + 1.0 * rng.next_double()));
+    const Cnf f = random_3sat(vars, clauses, rng.next_u64());
+    Solver solver(cfg);
+    solver.add_formula(f);
+    for (int q = 0; q < 4; ++q) {
+      std::vector<cnf::Lit> assume;
+      for (int a = 0; a < 2; ++a) {
+        assume.push_back(cnf::Lit::make(
+            static_cast<std::uint32_t>(rng.next_below(vars)),
+            rng.next_bool()));
+      }
+      const Status status = solver.solve_assuming(assume);
+      Cnf g = f;
+      for (cnf::Lit l : assume) g.add_clause({l});
+      EXPECT_EQ(status == Status::kSat, brute_force_sat(g))
+          << "iter=" << i << " query=" << q;
+    }
+  }
+}
+
+TEST(Chrono, TrailReuseKeepsDeterminismAndCounts) {
+  // Same formula + config => bit-identical statistics, and the reuse
+  // counter must actually fire on a restart-heavy run.
+  SolverConfig cfg;
+  cfg.restarts = SolverConfig::Restarts::kLuby;
+  cfg.luby_unit = 8;
+  const Cnf f = random_3sat(60, 255, 0xDEE9);
+  Solver a(cfg);
+  a.add_formula(f);
+  const Status sa = a.solve();
+  Solver b(cfg);
+  b.add_formula(f);
+  const Status sb = b.solve();
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.stats().decisions, b.stats().decisions);
+  EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+  EXPECT_EQ(a.stats().propagations, b.stats().propagations);
+  EXPECT_EQ(a.stats().reused_trails, b.stats().reused_trails);
+  EXPECT_GT(a.stats().restarts, 0u);
+}
+
+TEST(Sharing, AdaptiveExportSelfCorrectsUnderTinyRing) {
+  // The PR 2 failure mode: a loose LBD filter floods a tiny ring and loses
+  // most publications. With adaptive export the workers tighten their own
+  // filters; verdicts must stay correct either way and some loss must have
+  // been observed for the adaptation to act on.
+  Rng rng(0xADA);
+  for (int i = 0; i < 12; ++i) {
+    const int vars = 40 + static_cast<int>(rng.next_below(21));
+    const Cnf f =
+        random_3sat(vars, static_cast<int>(vars * 4.3), rng.next_u64());
+    const auto seq = solve_cnf(f, SolverConfig::kissat_like());
+    PortfolioOptions opt;
+    opt.num_workers = 4;
+    opt.sharing.enabled = true;
+    opt.sharing.ring_capacity = 16;
+    opt.sharing.max_lbd = 8;
+    opt.sharing.max_size = 16;
+    opt.sharing.adaptive = true;
+    opt.sharing.adaptive_min_lbd = 1;
+    opt.sharing.adaptive_max_lbd = 8;
+    const auto r = solve_portfolio(f, opt);
+    EXPECT_EQ(r.status, seq.status) << i;
+    if (r.status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, r.model)) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csat::sat
