@@ -21,6 +21,11 @@
 // --json): `--chrono=on|off --vivify=on|off --adaptive=on|off` toggle
 // chronological backtracking, clause vivification and adaptive glue export
 // on both presets, so before/after comparisons are one flag flip.
+// `--simplify=on|off` (default off, so the --smoke BCP floor keeps
+// measuring raw search) runs the CNF preprocessor (cnf/simplify.h) before
+// every sequential solve. Independently of that flag, `--json` always
+// appends a measured simplify on/off comparison ("simplify" block) for the
+// adder_miter and random3sat families.
 
 #include <benchmark/benchmark.h>
 
@@ -31,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cnf/simplify.h"
 #include "cnf/tseitin.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -46,6 +52,9 @@ struct Ablation {
   bool chrono = true;
   bool vivify = true;
   bool adaptive = true;
+  // CNF preprocessing before every sequential solve. Off by default so the
+  // --smoke throughput floor keeps measuring raw search.
+  bool simplify = false;
   // 0 = keep the preset's default; sweepable for tuning runs.
   std::uint32_t chrono_threshold = 0;
   std::uint64_t vivify_interval = 0;
@@ -110,6 +119,20 @@ sat::SolverConfig preset(int index) {
   return c;
 }
 
+/// Sequential solve honouring the --simplify ablation: preprocess first
+/// (UNSAT short-circuits the solver entirely) when the lever is on.
+sat::SolveResult solve_sequential(const cnf::Cnf& f,
+                                  const sat::SolverConfig& cfg) {
+  if (!g_ablation.simplify) return sat::solve_cnf(f, cfg);
+  const auto pre = cnf::simplify(f);
+  if (pre.unsat) {
+    sat::SolveResult r;
+    r.status = sat::Status::kUnsat;
+    return r;
+  }
+  return sat::solve_cnf(pre.cnf, cfg);
+}
+
 void report_stats(benchmark::State& state, const sat::SolveResult& r,
                   double total_propagations) {
   state.counters["decisions"] = static_cast<double>(r.stats.decisions);
@@ -125,7 +148,7 @@ void run_sequential_case(benchmark::State& state, const cnf::Cnf& f) {
   sat::SolveResult last;
   double props = 0.0;
   for (auto _ : state) {
-    last = sat::solve_cnf(f, preset(static_cast<int>(state.range(1))));
+    last = solve_sequential(f, preset(static_cast<int>(state.range(1))));
     props += static_cast<double>(last.stats.propagations);
     benchmark::DoNotOptimize(last.status);
   }
@@ -218,7 +241,7 @@ int run_smoke() {
     sat::Status verdicts[2];
     for (int p = 0; p < 2; ++p) {
       Stopwatch watch;
-      const auto r = sat::solve_cnf(c.formula, preset(p));
+      const auto r = solve_sequential(c.formula, preset(p));
       const double secs = watch.seconds();
       total_props += r.stats.propagations;
       total_seconds += secs;
@@ -289,6 +312,8 @@ int run_json(const char* path, int repeats) {
   out += g_ablation.vivify ? "true" : "false";
   out += ", \"adaptive\": ";
   out += g_ablation.adaptive ? "true" : "false";
+  out += ", \"simplify\": ";
+  out += g_ablation.simplify ? "true" : "false";
   out += ", \"mean_of\": " + std::to_string(repeats) +
          ", \"solver_seeds\": " + std::to_string(kSolverSeeds) + "},\n";
   out += "  \"results\": [\n";
@@ -336,7 +361,7 @@ int run_json(const char* path, int repeats) {
           cfg.seed += static_cast<std::uint64_t>(sd) * 7919;
           for (const cnf::Cnf& f : fam.instances) {
             Stopwatch watch;
-            const auto r = sat::solve_cnf(f, cfg);
+            const auto r = solve_sequential(f, cfg);
             total_seconds += watch.seconds();
             props += r.stats.propagations;
             conflicts += r.stats.conflicts;
@@ -399,6 +424,85 @@ int run_json(const char* path, int repeats) {
                 mean_seconds * 1e3);
   }
 
+  // Measured CNF-preprocessor on/off comparison, always emitted regardless
+  // of --simplify: per family, the sequential wall time without the
+  // preprocessor vs with it (simplify time included), plus what it removed.
+  // Both arms must agree on every verdict.
+  out += "  ],\n  \"simplify\": [\n";
+  {
+    struct SimplifyFamily {
+      const char* name;
+      std::vector<cnf::Cnf> instances;
+    };
+    SimplifyFamily sfams[] = {{"adder_miter", {}}, {"random3sat", {}}};
+    for (int w : {16, 32, 48}) sfams[0].instances.push_back(adder_miter_cnf(w));
+    for (int s = 0; s < 8; ++s)
+      sfams[1].instances.push_back(random_3sat(170, 4.26, 1000 + s));
+    bool sfirst = true;
+    for (SimplifyFamily& fam : sfams) {
+      double off_seconds = 0.0, on_seconds = 0.0;
+      std::uint64_t vars_before = 0, vars_after = 0;
+      std::uint64_t clauses_before = 0, clauses_after = 0;
+      std::uint64_t fixed = 0, equivalent = 0, eliminated = 0, removed = 0;
+      bool agree = true;
+      for (int rep = 0; rep < repeats; ++rep) {
+        vars_before = vars_after = clauses_before = clauses_after = 0;
+        fixed = equivalent = eliminated = removed = 0;
+        const sat::SolverConfig cfg = preset(0);
+        for (const cnf::Cnf& f : fam.instances) {
+          Stopwatch off_watch;
+          const auto off = sat::solve_cnf(f, cfg);
+          off_seconds += off_watch.seconds();
+          Stopwatch on_watch;
+          const auto pre = cnf::simplify(f);
+          const sat::Status on_status =
+              pre.unsat ? sat::Status::kUnsat
+                        : sat::solve_cnf(pre.cnf, cfg).status;
+          on_seconds += on_watch.seconds();
+          agree &= on_status == off.status;
+          vars_before += f.num_vars();
+          vars_after += pre.cnf.num_vars();
+          clauses_before += f.num_clauses();
+          clauses_after += pre.cnf.num_clauses();
+          fixed += pre.stats.fixed_units + pre.stats.pure_literals +
+                   pre.stats.failed_literals;
+          equivalent += pre.stats.equivalent_literals;
+          eliminated += pre.stats.eliminated_vars;
+          removed += pre.stats.removed_clauses;
+        }
+      }
+      char line[512];
+      std::snprintf(
+          line, sizeof(line),
+          "    %s{\"family\": \"%s\", \"off_ms\": %.3f, \"on_ms\": %.3f, "
+          "\"vars_before\": %llu, \"vars_after\": %llu, "
+          "\"clauses_before\": %llu, \"clauses_after\": %llu, "
+          "\"fixed_literals\": %llu, \"equivalent_literals\": %llu, "
+          "\"eliminated_vars\": %llu, \"removed_clauses\": %llu, "
+          "\"verdicts_agree\": %s}",
+          sfirst ? "" : ",", fam.name, off_seconds / repeats * 1e3,
+          on_seconds / repeats * 1e3,
+          static_cast<unsigned long long>(vars_before),
+          static_cast<unsigned long long>(vars_after),
+          static_cast<unsigned long long>(clauses_before),
+          static_cast<unsigned long long>(clauses_after),
+          static_cast<unsigned long long>(fixed),
+          static_cast<unsigned long long>(equivalent),
+          static_cast<unsigned long long>(eliminated),
+          static_cast<unsigned long long>(removed),
+          agree ? "true" : "false");
+      out += line;
+      out += '\n';
+      sfirst = false;
+      std::printf("json simplify %-12s off %8.1f ms  on %8.1f ms  "
+                  "%llu -> %llu clauses%s\n",
+                  fam.name, off_seconds / repeats * 1e3,
+                  on_seconds / repeats * 1e3,
+                  static_cast<unsigned long long>(clauses_before),
+                  static_cast<unsigned long long>(clauses_after),
+                  agree ? "" : "  VERDICT MISMATCH");
+    }
+  }
   out += "  ]\n}\n";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -475,6 +579,8 @@ int main(int argc, char** argv) {
       bad = !parse_onoff(a.substr(9), g_ablation.vivify);
     } else if (a.rfind("--adaptive=", 0) == 0) {
       bad = !parse_onoff(a.substr(11), g_ablation.adaptive);
+    } else if (a.rfind("--simplify=", 0) == 0) {
+      bad = !parse_onoff(a.substr(11), g_ablation.simplify);
     } else if (a.rfind("--chrono-threshold=", 0) == 0) {
       g_ablation.chrono_threshold =
           static_cast<std::uint32_t>(std::atoi(argv[i] + 19));

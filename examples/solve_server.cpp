@@ -12,6 +12,8 @@
 //          --config=kissat|cadical  sequential/lead solver configuration
 //          --max-seconds=F        default per-request budget
 //          --portfolio=K          default portfolio size
+//          --simplify=on|off      default CNF preprocessing (requests may
+//                                 override with simplify=on|off)
 //          --expect-cache-hits=N  exit 1 unless the cache hit >= N times
 //          --strict               exit 1 on any error response
 //
@@ -68,6 +70,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.default_limits.max_seconds = s;
+    } else if (arg.rfind("--simplify=", 0) == 0) {
+      const std::string v = arg.substr(11);
+      if (v != "on" && v != "off") {
+        std::fprintf(stderr, "--simplify must be on or off\n");
+        return 2;
+      }
+      options.default_simplify = v == "on";
     } else if (arg.rfind("--config=", 0) == 0) {
       const std::string c = arg.substr(9);
       if (c == "kissat") {

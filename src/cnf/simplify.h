@@ -3,23 +3,35 @@
 
 /// \file simplify.h
 /// CNF-level preprocessing: unit propagation, pure-literal elimination,
-/// (self-)subsumption and bounded variable elimination.
+/// failed-literal probing with equivalent-literal substitution,
+/// (self-)subsumption, bounded variable elimination and variable remapping.
 ///
 /// The paper's pipeline runs on top of the solvers' "default CNF-based
 /// preprocessing" (Section IV, footnote 1) — the techniques of Eén-Biere
 /// SatELite and NiVER ([5], [6] in the paper). This module provides that
 /// layer for our self-contained stack:
-///   * unit propagation to a fixpoint (fixed literals re-emitted as units),
+///   * unit propagation to a fixpoint,
 ///   * pure-literal elimination,
+///   * failed-literal probing (assume a literal, BCP; a conflict fixes the
+///     negation; literals implied by both phases are fixed; opposite
+///     implications in the two phases yield variable equivalences that are
+///     substituted away),
 ///   * backward subsumption and self-subsuming resolution (strengthening),
 ///   * bounded variable elimination (eliminate v when the resolvent set is
-///     no larger than the clauses it replaces, NiVER's non-increasing rule).
+///     no larger than the clauses it replaces, NiVER's non-increasing rule),
+///   * variable remapping: the output formula lives on a dense variable
+///     range containing only the surviving variables, so the CDCL solver
+///     never allocates or branches over eliminated ones.
 ///
-/// Eliminated variables are recorded so that a model of the simplified
-/// formula can be *extended* to a model of the original formula
-/// (SatELite-style reconstruction stack).
+/// Every removal is recorded on a reconstruction stack so that a model of
+/// the simplified formula can be *extended* to a model of the original
+/// formula (SatELite-style reconstruction, replayed newest-first).
+///
+/// All techniques are budgeted (propagation steps, resolution steps, wall
+/// clock) so the engine is safe to run by default on every solve path.
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cnf/cnf.h"
@@ -31,42 +43,96 @@ struct SimplifyParams {
   bool pure_literals = true;
   bool subsumption = true;
   bool variable_elimination = true;
+  /// Failed-literal probing: assume each unassigned variable both ways and
+  /// BCP; conflicts fix literals, shared implications lift literals.
+  bool failed_literal_probing = true;
+  /// Harvest v≡w equivalences from probing and substitute the represented
+  /// variable away. Only meaningful when failed_literal_probing is on.
+  bool equivalent_literals = true;
+  /// Compact the output onto a dense variable range (dropping fixed,
+  /// eliminated, substituted and unconstrained variables). When off, the
+  /// output keeps the input variable space and fixed variables are
+  /// re-emitted as unit clauses.
+  bool remap_variables = true;
   /// Variables with more than this many occurrences are never eliminated
   /// (quadratic resolvent blow-up guard).
   int bve_occurrence_limit = 16;
   /// Simplification rounds (each round runs all enabled techniques).
   int max_rounds = 3;
+  /// Budget on propagation steps (literal visits during unit propagation
+  /// and probing BCP). Deterministic; the engine stops cleanly when spent.
+  std::uint64_t max_propagations = 50'000'000;
+  /// Budget on resolution steps (subsumption subset tests and BVE
+  /// resolvent constructions). Deterministic.
+  std::uint64_t max_resolutions = 10'000'000;
+  /// Wall-clock cap in seconds. Infinite by default: finite values make
+  /// the *output* depend on machine speed, which breaks run-to-run
+  /// determinism (the step budgets above are the deterministic guards).
+  double max_seconds = std::numeric_limits<double>::infinity();
 };
 
 struct SimplifyStats {
-  std::uint64_t fixed_units = 0;
-  std::uint64_t pure_literals = 0;
-  std::uint64_t eliminated_vars = 0;
+  std::uint64_t fixed_units = 0;        ///< fixed by unit propagation
+  std::uint64_t pure_literals = 0;      ///< fixed as pure
+  std::uint64_t failed_literals = 0;    ///< fixed by probing (conflict/lift)
+  std::uint64_t equivalent_literals = 0;///< variables substituted away
+  std::uint64_t probed_literals = 0;    ///< variables probed (both phases)
+  std::uint64_t eliminated_vars = 0;    ///< removed by variable elimination
   std::uint64_t subsumed_clauses = 0;
   std::uint64_t strengthened_clauses = 0;
-  std::uint64_t removed_clauses = 0;  ///< total clauses dropped
+  std::uint64_t removed_clauses = 0;    ///< total clauses dropped
+  std::uint64_t propagations = 0;       ///< propagation steps spent
+  std::uint64_t resolutions = 0;        ///< resolution steps spent
+  bool budget_exhausted = false;        ///< a budget stopped the run early
+  double seconds = 0.0;                 ///< wall clock spent simplifying
 };
 
 class SimplifyResult {
  public:
-  Cnf cnf;  ///< simplified formula over the *same* variable space
+  /// Simplified formula. With SimplifyParams::remap_variables it lives on a
+  /// dense variable range (see var_map/inverse_map); otherwise it keeps the
+  /// input variable space. When unsat, it is the canonical unsatisfiable
+  /// formula: zero variables and one empty clause.
+  Cnf cnf;
   SimplifyStats stats;
   bool unsat = false;  ///< conflict found during preprocessing
 
-  /// Extends a model of `cnf` to a model of the original formula by
-  /// replaying the reconstruction stack (eliminated variables, pure
-  /// literals, fixed units) in reverse order.
+  /// Variable count of the *original* formula.
+  std::uint32_t original_vars = 0;
+
+  /// Sentinel in var_map for variables with no image in the output
+  /// (fixed, eliminated, substituted or unconstrained).
+  static constexpr std::uint32_t kUnmapped =
+      std::numeric_limits<std::uint32_t>::max();
+  /// original variable -> output variable (kUnmapped when dropped).
+  std::vector<std::uint32_t> var_map;
+  /// output variable -> original variable (size == cnf.num_vars()).
+  std::vector<std::uint32_t> inverse_map;
+
+  /// Extends a model of `cnf` (indexed by *output* variables; extra
+  /// entries are ignored) to a model of the original formula: output
+  /// values are scattered through inverse_map, then the reconstruction
+  /// stack is replayed newest-first. The returned vector has
+  /// original_vars entries.
   [[nodiscard]] std::vector<bool> extend_model(std::vector<bool> model) const;
 
-  /// One reconstruction-stack entry (public so the implementation's worker
-  /// can assemble the stack; treat as read-only from user code).
+  /// One reconstruction-stack entry. Entries are pushed in the order the
+  /// simplifier acted and must be replayed in reverse (newest first);
+  /// treat as read-only from user code.
   struct Reconstruction {
+    enum class Kind : std::uint8_t {
+      kFixed,       ///< var fixed to a constant: `binding` is the true literal
+      kEquivalent,  ///< var equivalent to `binding` (a literal of its
+                    ///< representative variable)
+      kEliminated,  ///< var removed by BVE: `clauses` are its original
+                    ///< clauses, which force its value under the suffix
+    };
+    Kind kind = Kind::kFixed;
     std::uint32_t var = 0;
-    /// Original clauses containing the variable (for BVE), or a single
-    /// pseudo-clause {lit} for pure/unit fixes.
-    std::vector<std::vector<Lit>> clauses;
+    Lit binding{};  ///< kFixed / kEquivalent payload (unused for kEliminated)
+    std::vector<std::vector<Lit>> clauses;  ///< kEliminated payload
   };
-  std::vector<Reconstruction> stack_;
+  std::vector<Reconstruction> stack;
 };
 
 /// Runs the preprocessing pipeline. The result's formula is

@@ -45,6 +45,11 @@ struct BatchResult {
   /// (zero for the single-solver backend or with sharing disabled).
   std::uint64_t clauses_exported = 0;
   std::uint64_t clauses_imported = 0;
+  /// CNF-preprocessing totals summed over the batch (zero when the
+  /// pipeline runs with cnf_simplify off).
+  std::uint64_t simplify_fixed_literals = 0;  ///< units + pures + failed
+  std::uint64_t simplify_eliminated_vars = 0; ///< BVE + equivalences
+  std::uint64_t simplify_removed_clauses = 0;
 };
 
 /// Runs every instance through the configured pipeline on a worker pool.

@@ -75,22 +75,34 @@ struct EncodedFormula {
   cnf::Cnf formula;
   std::optional<cnf::SimplifyResult> simplified;
 
+  /// True when preprocessing already refuted the formula (no solve needed).
+  [[nodiscard]] bool proved_unsat() const {
+    return simplified.has_value() && simplified->unsat;
+  }
+
+  /// Maps a model of `formula` (dense, remapped variables when simplified)
+  /// back onto the original variable space.
   [[nodiscard]] std::vector<bool> restore(std::vector<bool> model,
                                           std::uint32_t original_vars) const {
-    model.resize(original_vars);
     if (simplified.has_value()) return simplified->extend_model(std::move(model));
+    model.resize(original_vars);
     return model;
   }
 };
 
-EncodedFormula maybe_simplify(cnf::Cnf cnf, bool enable) {
+EncodedFormula maybe_simplify(cnf::Cnf cnf, const PipelineOptions& options,
+                              PipelineResult& result) {
   EncodedFormula e;
-  if (!enable) {
+  if (!options.cnf_simplify) {
     e.formula = std::move(cnf);
     return e;
   }
-  e.simplified = cnf::simplify(cnf);
+  e.simplified = cnf::simplify(cnf, options.simplify_params);
   e.formula = e.simplified->cnf;
+  result.simplified = true;
+  result.simplified_vars = e.formula.num_vars();
+  result.simplified_clauses = e.formula.num_clauses();
+  result.simplify_stats = e.simplified->stats;
   return e;
 }
 
@@ -99,14 +111,19 @@ PipelineResult run_baseline(const aig::Aig& instance,
   PipelineResult result;
   Stopwatch watch;
   const auto enc = cnf::tseitin_encode(instance);
-  const auto ef = maybe_simplify(enc.cnf, options.cnf_simplify);
-  result.preprocess_seconds = watch.seconds();
   result.ands_before = result.ands_after = instance.num_live_ands();
-  result.cnf_vars = ef.formula.num_vars();
-  result.cnf_clauses = ef.formula.num_clauses();
+  result.cnf_vars = enc.cnf.num_vars();
+  result.cnf_clauses = enc.cnf.num_clauses();
   if (enc.trivially_sat) {
+    result.preprocess_seconds = watch.seconds();
     result.status = sat::Status::kSat;
     result.witness.assign(instance.num_pis(), false);
+    return result;
+  }
+  const auto ef = maybe_simplify(enc.cnf, options, result);
+  result.preprocess_seconds = watch.seconds();
+  if (ef.proved_unsat()) {
+    result.status = sat::Status::kUnsat;
     return result;
   }
   watch.restart();
@@ -180,10 +197,12 @@ PipelineResult solve_instance(const aig::Aig& instance,
     return result;
   }
   watch.restart();
-  const auto ef = maybe_simplify(p.cnf, options.cnf_simplify);
+  const auto ef = maybe_simplify(p.cnf, options, result);
   result.preprocess_seconds += watch.seconds();
-  result.cnf_vars = ef.formula.num_vars();
-  result.cnf_clauses = ef.formula.num_clauses();
+  if (ef.proved_unsat()) {
+    result.status = sat::Status::kUnsat;
+    return result;
+  }
   watch.restart();
   const auto r = run_backend(ef.formula, options);
   result.solve_seconds = watch.seconds();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "aig/aig.h"
+#include "cnf/simplify.h"
 #include "core/preprocessor.h"
 #include "rl/dqn.h"
 #include "sat/portfolio.h"
@@ -69,10 +70,14 @@ struct PipelineOptions {
   sat::ClauseSharingOptions portfolio_sharing;
   int max_steps = 10;  ///< T
   bool normalize = true;
-  /// Run the CNF-level preprocessor (SatELite/NiVER-style; cnf/simplify.h)
-  /// on the encoded formula before solving — the "default CNF-based
-  /// preprocessing" the paper keeps enabled underneath its framework.
-  bool cnf_simplify = false;
+  /// Run the CNF-level preprocessor (SatELite/NiVER-style plus probing and
+  /// variable remapping; cnf/simplify.h) on the encoded formula before
+  /// solving — the "default CNF-based preprocessing" the paper keeps
+  /// enabled underneath its framework. On by default; the preprocessor is
+  /// budgeted (simplify_params) so it is safe on every instance.
+  bool cnf_simplify = true;
+  /// Technique toggles and budgets for the CNF preprocessor.
+  cnf::SimplifyParams simplify_params;
   /// Trained agent for the RL arms (kOurs / kOursAreaMapper); when null
   /// those arms fall back to the fixed compress2 script (documented).
   const rl::DqnAgent* agent = nullptr;
@@ -95,8 +100,16 @@ struct PipelineResult {
   /// when sharing was disabled); solver_stats carries the winner's share.
   std::uint64_t clauses_exported = 0;
   std::uint64_t clauses_imported = 0;
+  /// Size of the *encoded* CNF, before any CNF-level preprocessing (so the
+  /// encoding comparison across arms is independent of the simplifier).
   std::size_t cnf_vars = 0;
   std::size_t cnf_clauses = 0;
+  /// CNF preprocessing report (cnf_simplify): the formula actually handed
+  /// to the backend lives on simplified_vars (dense, remapped) variables.
+  bool simplified = false;
+  std::size_t simplified_vars = 0;
+  std::size_t simplified_clauses = 0;
+  cnf::SimplifyStats simplify_stats;
   std::size_t ands_before = 0;
   std::size_t ands_after = 0;
   std::size_t num_luts = 0;

@@ -242,6 +242,30 @@ std::string ServerResponse::to_json() const {
   out += ",\"vivified_clauses\":" + std::to_string(stats.vivified_clauses);
   out += ",\"vivify_strengthened_lits\":" +
          std::to_string(stats.vivify_strengthened_lits);
+  // CNF preprocessing report (PR 6): what the backend actually solved.
+  // "vars"/"clauses" above always describe the original formula (which is
+  // also what the cache key hashes), so this block is pure diagnostics.
+  if (simplify_enabled) {
+    out += ",\"simplify\":{\"vars\":" + std::to_string(simplified_vars);
+    out += ",\"clauses\":" + std::to_string(simplified_clauses);
+    out += ",\"fixed_units\":" + std::to_string(simplify_stats.fixed_units);
+    out += ",\"pure_literals\":" + std::to_string(simplify_stats.pure_literals);
+    out += ",\"failed_literals\":" +
+           std::to_string(simplify_stats.failed_literals);
+    out += ",\"equivalent_literals\":" +
+           std::to_string(simplify_stats.equivalent_literals);
+    out += ",\"eliminated_vars\":" +
+           std::to_string(simplify_stats.eliminated_vars);
+    out += ",\"subsumed_clauses\":" +
+           std::to_string(simplify_stats.subsumed_clauses);
+    out += ",\"strengthened_clauses\":" +
+           std::to_string(simplify_stats.strengthened_clauses);
+    out += ",\"removed_clauses\":" +
+           std::to_string(simplify_stats.removed_clauses);
+    out += ",\"seconds\":";
+    append_double(out, simplify_stats.seconds);
+    out += '}';
+  }
   if (has_expect) {
     out += ",\"expect\":\"";
     out += expect_ok ? "ok" : "mismatch";
@@ -452,23 +476,44 @@ ServerResponse SolveServer::process(ServerRequest& request,
     } else if (built.trivially_sat) {
       response.status = sat::Status::kSat;
       response.model_size = built.witness_units;
-    } else if (request.backend == SolveBackend::kSingle) {
-      solver.reset();
-      solver.add_formula(built.formula);
-      response.status = solver.solve(limits);
-      response.stats = solver.stats();
-      if (response.status == sat::Status::kSat)
-        response.model_size = built.witness_units;
     } else {
-      const std::size_t n = request.portfolio_size != 0
-                                ? request.portfolio_size
-                                : options_.default_portfolio_size;
-      const auto popt = sat::make_portfolio_options(options_.solver, n, limits);
-      auto r = sat::solve_portfolio(built.formula, popt);
-      response.status = r.status;
-      response.stats = r.stats;
-      if (response.status == sat::Status::kSat)
-        response.model_size = built.witness_units;
+      // CNF preprocessing (request override, else the server default). The
+      // cache key was computed from the *original* formula above, so the
+      // cached verdict is identical whether or not a request simplifies.
+      cnf::SimplifyResult simplified;
+      const cnf::Cnf* to_solve = &built.formula;
+      bool proved_unsat = false;
+      if (request.simplify.value_or(options_.default_simplify)) {
+        simplified = cnf::simplify(built.formula, options_.simplify_params);
+        response.simplify_enabled = true;
+        response.simplified_vars = simplified.cnf.num_vars();
+        response.simplified_clauses = simplified.cnf.num_clauses();
+        response.simplify_stats = simplified.stats;
+        to_solve = &simplified.cnf;
+        proved_unsat = simplified.unsat;
+      }
+
+      if (proved_unsat) {
+        response.status = sat::Status::kUnsat;
+      } else if (request.backend == SolveBackend::kSingle) {
+        solver.reset();
+        solver.add_formula(*to_solve);
+        response.status = solver.solve(limits);
+        response.stats = solver.stats();
+        if (response.status == sat::Status::kSat)
+          response.model_size = built.witness_units;
+      } else {
+        const std::size_t n = request.portfolio_size != 0
+                                  ? request.portfolio_size
+                                  : options_.default_portfolio_size;
+        const auto popt =
+            sat::make_portfolio_options(options_.solver, n, limits);
+        auto r = sat::solve_portfolio(*to_solve, popt);
+        response.status = r.status;
+        response.stats = r.stats;
+        if (response.status == sat::Status::kSat)
+          response.model_size = built.witness_units;
+      }
     }
 
     // The cache itself rejects (and counts) kUnknown verdicts: an exhausted
@@ -626,6 +671,12 @@ std::optional<ServerRequest> SolveServer::parse_request(
         return std::nullopt;
       }
       request.use_cache = value == "on";
+    } else if (key == "simplify") {
+      if (value != "on" && value != "off") {
+        error = "simplify must be on or off";
+        return std::nullopt;
+      }
+      request.simplify = value == "on";
     } else if (key == "expect") {
       if (value == "sat") {
         request.expect = sat::Status::kSat;

@@ -47,6 +47,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cnf/simplify.h"
 #include "core/pipeline.h"
 #include "core/result_cache.h"
 #include "sat/solver.h"
@@ -75,6 +76,11 @@ struct ServerRequest {
   /// shutdown flag into Limits::terminate.
   sat::Limits limits;
   bool use_cache = true;
+  /// CNF preprocessing override for this request (`simplify=on|off`);
+  /// unset inherits ServerOptions::default_simplify. Caching is unaffected
+  /// either way: the cache key is the *original* formula's structural hash,
+  /// computed before any simplification.
+  std::optional<bool> simplify;
   /// Self-check: when set, the response's "expect" field reports whether
   /// the verdict matched, and the server counts mismatches.
   std::optional<sat::Status> expect;
@@ -100,6 +106,14 @@ struct ServerResponse {
   /// Witness length for SAT verdicts (PI count for circuit instances,
   /// variable count for raw CNF); 0 otherwise.
   std::size_t model_size = 0;
+  /// CNF preprocessing report for this solve (absent on cache hits and
+  /// trivial verdicts): the backend actually solved simplified_vars /
+  /// simplified_clauses; `vars`/`clauses` above always describe the
+  /// original formula.
+  bool simplify_enabled = false;
+  std::size_t simplified_vars = 0;
+  std::size_t simplified_clauses = 0;
+  cnf::SimplifyStats simplify_stats;
   bool has_expect = false;
   bool expect_ok = true;
 
@@ -134,6 +148,11 @@ struct ServerOptions {
   /// Budget applied where a request leaves Limits fields at their defaults.
   sat::Limits default_limits;
   std::size_t default_portfolio_size = 4;
+  /// Run the CNF preprocessor (cnf/simplify.h) before solving requests
+  /// that don't say `simplify=`; per-request overrides win.
+  bool default_simplify = true;
+  /// Technique toggles and budgets for the preprocessor.
+  cnf::SimplifyParams simplify_params;
   /// Optional in-process response sink, called once per response from the
   /// worker that produced it, serialized by an internal mutex (the callback
   /// may touch shared state). Runs in addition to any serve() stream.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "cnf/simplify.h"
 #include "cnf/tseitin.h"
 #include "common/rng.h"
 #include "gen/suite.h"
@@ -113,6 +114,61 @@ TEST(FuzzDifferential, GeneratedCircuitMiters) {
   EXPECT_GT(unsat_count, 0);
 }
 
+TEST(FuzzDifferential, SimplifyPreservesVerdictsAndModels) {
+  // ~200 instances through the full preprocessor (propagation, pures,
+  // failed-literal probing, equivalent-literal substitution, subsumption,
+  // BVE, variable remapping) differentially against an untouched sequential
+  // solver. Every SAT model is reconstructed with extend_model and checked
+  // against the ORIGINAL formula, never the simplified one.
+  int sat_count = 0;
+  int unsat_count = 0;
+  const auto check_one = [&](const cnf::Cnf& f, const std::string& tag) {
+    const auto plain = sat::solve_cnf(f, sat::SolverConfig::kissat_like());
+    ASSERT_NE(plain.status, sat::Status::kUnknown) << tag;
+    const auto r = cnf::simplify(f);
+    if (r.unsat) {
+      EXPECT_EQ(plain.status, sat::Status::kUnsat) << tag;
+      ++unsat_count;
+      return;
+    }
+    const auto solved = sat::solve_cnf(r.cnf, sat::SolverConfig::kissat_like());
+    EXPECT_EQ(solved.status, plain.status) << tag;
+    if (solved.status == sat::Status::kSat) {
+      EXPECT_TRUE(check_model(r.cnf, solved.model)) << tag << " (simplified)";
+      EXPECT_TRUE(check_model(f, r.extend_model(solved.model)))
+          << tag << " (original, reconstructed)";
+      ++sat_count;
+    } else {
+      ++unsat_count;
+    }
+  };
+
+  Rng rng(0x51A9F1);
+  for (int i = 0; i < 140; ++i) {
+    const int vars = 15 + static_cast<int>(rng.next_below(46));
+    const double ratio = 2.8 + 0.01 * static_cast<double>(rng.next_below(261));
+    const cnf::Cnf f =
+        random_3sat(vars, static_cast<int>(vars * ratio), rng.next_u64());
+    check_one(f, "simplify/random3sat[" + std::to_string(i) + "]");
+  }
+  for (int holes = 3; holes <= 5; ++holes) {
+    check_one(pigeonhole(holes),
+              "simplify/pigeonhole(" + std::to_string(holes) + ")");
+  }
+  gen::SuiteParams params;
+  params.count = 60;
+  params.seed = 20260807;
+  params.multiplier = {3, 4, 0.30};
+  for (const auto& inst : gen::make_suite(params)) {
+    const auto enc = cnf::tseitin_encode(inst.circuit);
+    if (enc.trivially_sat) continue;
+    check_one(enc.cnf, "simplify/" + inst.name);
+  }
+  // Both verdicts must be exercised or the differential is one-sided.
+  EXPECT_GT(sat_count, 20);
+  EXPECT_GT(unsat_count, 20);
+}
+
 TEST(FuzzDifferential, GcChurnUnderSharing) {
   // Arena GC interaction: every worker reduces its learnt DB every few
   // dozen conflicts (constant mark-compact churn) while importing shared
@@ -141,17 +197,21 @@ TEST(FuzzDifferential, GcChurnUnderSharing) {
 }
 
 TEST(FuzzDifferential, InprocessingLeverMatrix) {
-  // chrono x vivify x adaptive-sharing axes: every lever combination must
-  // agree with the all-off sequential baseline, sequentially and through a
-  // 4-worker portfolio, and every SAT verdict's model must check out.
+  // chrono x vivify x adaptive-sharing x cnf-simplify axes: every lever
+  // combination must agree with the all-off sequential baseline,
+  // sequentially and through a 4-worker portfolio, and every SAT verdict's
+  // model must check out (against the ORIGINAL formula when the simplify
+  // lever rewrote it).
   struct Levers {
     bool chrono;
     bool vivify;
     bool adaptive;
+    bool simplify;
   };
   const Levers combos[] = {
-      {true, false, false}, {false, true, false}, {true, true, false},
-      {true, true, true},
+      {true, false, false, false}, {false, true, false, false},
+      {true, true, false, false},  {true, true, true, false},
+      {false, false, false, true}, {true, true, true, true},
   };
   Rng rng(0x1E7E85);
   for (int i = 0; i < 40; ++i) {
@@ -168,6 +228,22 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
       EXPECT_TRUE(check_model(f, baseline.model)) << i;
     }
     for (const Levers& lv : combos) {
+      // The simplify lever runs the CNF preprocessor first and solves the
+      // rewritten (possibly remapped) formula; models are reconstructed
+      // back onto the original variable space before checking.
+      cnf::SimplifyResult pre;
+      const cnf::Cnf* target = &f;
+      if (lv.simplify) {
+        pre = cnf::simplify(f);
+        if (pre.unsat) {
+          EXPECT_EQ(baseline.status, sat::Status::kUnsat) << i;
+          continue;
+        }
+        target = &pre.cnf;
+      }
+      const auto lift = [&](const std::vector<bool>& model) {
+        return lv.simplify ? pre.extend_model(model) : model;
+      };
       // Sequential with the lever set, on aggressive schedules so the
       // levers actually fire on these small instances.
       sat::SolverConfig on = sat::SolverConfig::kissat_like();
@@ -175,11 +251,12 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
       on.chrono_threshold = 2;
       on.vivify = lv.vivify;
       on.vivify_interval = 50;
-      const auto seq = sat::solve_cnf(f, on);
+      const auto seq = sat::solve_cnf(*target, on);
       EXPECT_EQ(seq.status, baseline.status)
-          << i << " chrono=" << lv.chrono << " vivify=" << lv.vivify;
+          << i << " chrono=" << lv.chrono << " vivify=" << lv.vivify
+          << " simplify=" << lv.simplify;
       if (seq.status == sat::Status::kSat) {
-        EXPECT_TRUE(check_model(f, seq.model)) << i;
+        EXPECT_TRUE(check_model(f, lift(seq.model))) << i;
       }
       // Portfolio: diversified workers all with the lever set, plus the
       // sharing-side levers (fixpoint import, adaptive glue export).
@@ -194,12 +271,12 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
       opt.sharing.enabled = true;
       opt.sharing.adaptive = lv.adaptive;
       opt.sharing.import_at_fixpoint = lv.adaptive;
-      const auto par = sat::solve_portfolio(f, opt);
+      const auto par = sat::solve_portfolio(*target, opt);
       EXPECT_EQ(par.status, baseline.status)
           << i << " chrono=" << lv.chrono << " vivify=" << lv.vivify
-          << " adaptive=" << lv.adaptive;
+          << " adaptive=" << lv.adaptive << " simplify=" << lv.simplify;
       if (par.status == sat::Status::kSat) {
-        EXPECT_TRUE(check_model(f, par.model)) << i;
+        EXPECT_TRUE(check_model(f, lift(par.model))) << i;
       }
     }
   }

@@ -33,6 +33,7 @@ TEST(Integration, CnfSimplifyPreservesVerdictAndWitness) {
     plain.mode = core::PipelineMode::kOurs;
     plain.limits.max_conflicts = 300000;
     plain.max_steps = 3;
+    plain.cnf_simplify = false;  // defaults on; this arm is the control
     const auto r1 = core::solve_instance(inst.circuit, plain);
 
     core::PipelineOptions simplified = plain;
@@ -46,8 +47,11 @@ TEST(Integration, CnfSimplifyPreservesVerdictAndWitness) {
       for (bool po : evaluate(inst.circuit, r2.witness)) some_po |= po;
       EXPECT_TRUE(some_po) << inst.name;
     }
-    // Preprocessing should not grow the formula.
-    EXPECT_LE(r2.cnf_clauses, r1.cnf_clauses + 1) << inst.name;
+    // Both arms saw the same encoded CNF, and preprocessing never grew it.
+    EXPECT_EQ(r2.cnf_clauses, r1.cnf_clauses) << inst.name;
+    EXPECT_TRUE(r2.simplified) << inst.name;
+    EXPECT_LE(r2.simplified_clauses, r2.cnf_clauses) << inst.name;
+    EXPECT_LE(r2.simplified_vars, r2.cnf_vars) << inst.name;
   }
 }
 

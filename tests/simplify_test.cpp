@@ -1,7 +1,9 @@
 // Tests for the CNF preprocessing layer (unit propagation, pure literals,
-// subsumption, self-subsuming resolution, bounded variable elimination) and
-// for solver assumptions. Equisatisfiability and model reconstruction are
-// cross-checked against brute force and the CDCL solver.
+// failed-literal probing, equivalent-literal substitution, subsumption,
+// self-subsuming resolution, bounded variable elimination, variable
+// remapping, budgets) and for solver assumptions. Equisatisfiability and
+// model reconstruction are cross-checked against brute force and the CDCL
+// solver.
 
 #include <gtest/gtest.h>
 
@@ -154,6 +156,166 @@ TEST_P(SimplifyProperty, NeverGrowsTheFormula) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Range(0, 8));
+
+// Regression: fix_literal used to bump fixed_units unconditionally, so a
+// pure-literal fix was double-counted as both pure_literals and
+// fixed_units. Each fix must land in exactly one bucket.
+TEST(Simplify, FixesCountInExactlyOneBucket) {
+  Cnf f;
+  f.add_vars(4);
+  f.add_unit(pos(0));            // unit: x0
+  f.add_binary(neg(0), pos(1));  // propagates to unit: x1
+  f.add_binary(neg(2), pos(3));  // x2 occurs only negatively: pure
+  f.add_binary(neg(2), neg(3));
+  SimplifyParams p;
+  p.subsumption = false;
+  p.variable_elimination = false;
+  p.failed_literal_probing = false;
+  const auto r = simplify(f, p);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_EQ(r.stats.fixed_units, 2u);    // x0, x1
+  EXPECT_EQ(r.stats.pure_literals, 1u);  // x2 (x3 ends up unconstrained)
+  EXPECT_EQ(r.stats.failed_literals, 0u);
+}
+
+// Regression: finish() used to encode UNSAT as contradictory units on
+// variable 0 even for a 0-variable formula containing the empty clause,
+// emitting out-of-range literals.
+TEST(Simplify, UnsatZeroVarFormulaStaysInRange) {
+  Cnf f;  // no variables at all
+  const std::vector<Lit> empty;
+  f.add_clause(empty);
+  const auto r = simplify(f);
+  EXPECT_TRUE(r.unsat);
+  for (std::size_t i = 0; i < r.cnf.num_clauses(); ++i)
+    for (Lit l : r.cnf.clause(i))
+      EXPECT_LT(l.var(), r.cnf.num_vars());
+  EXPECT_EQ(sat::solve_cnf(r.cnf).status, sat::Status::kUnsat);
+}
+
+TEST(Simplify, UnsatResultIsCanonicalEmptyClause) {
+  Cnf f;
+  f.add_vars(2);
+  f.add_unit(pos(0));
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(neg(0), neg(1));
+  const auto r = simplify(f);
+  EXPECT_TRUE(r.unsat);
+  EXPECT_EQ(r.cnf.num_vars(), 0u);
+  ASSERT_EQ(r.cnf.num_clauses(), 1u);
+  EXPECT_EQ(r.cnf.clause(0).size(), 0u);
+}
+
+TEST(Simplify, ProbingFixesFailedLiterals) {
+  // Assuming ~x0 propagates x1 and ~x1: a conflict only visible to
+  // probing (plain BCP sees no unit; subsumption is disabled here).
+  Cnf f;
+  f.add_vars(4);
+  f.add_binary(pos(0), pos(1));
+  f.add_binary(pos(0), neg(1));
+  f.add_ternary(neg(0), pos(2), pos(3));  // both phases of x0 occur
+  SimplifyParams p;
+  p.pure_literals = false;
+  p.subsumption = false;
+  p.variable_elimination = false;
+  const auto r = simplify(f, p);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.failed_literals, 1u);
+  // x0 fixed true; only (x2 | x3) survives.
+  ASSERT_EQ(r.cnf.num_clauses(), 1u);
+  const auto solved = sat::solve_cnf(r.cnf);
+  ASSERT_EQ(solved.status, sat::Status::kSat);
+  const auto full = r.extend_model(solved.model);
+  ASSERT_EQ(full.size(), f.num_vars());
+  EXPECT_TRUE(full[0]);  // the failed literal's negation, replayed
+  EXPECT_TRUE(f.satisfied_by(full));
+}
+
+TEST(Simplify, ProbingSubstitutesEquivalentLiterals) {
+  // x0 <-> x1 via two binaries; x1's other occurrences get rewritten onto
+  // x0 and the variable disappears from the output.
+  Cnf f;
+  f.add_vars(4);
+  f.add_binary(neg(0), pos(1));
+  f.add_binary(pos(0), neg(1));
+  f.add_ternary(pos(1), pos(2), pos(3));
+  f.add_ternary(neg(1), neg(2), pos(3));
+  SimplifyParams p;
+  p.pure_literals = false;
+  p.subsumption = false;
+  p.variable_elimination = false;
+  const auto r = simplify(f, p);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.equivalent_literals, 1u);
+  EXPECT_LT(r.cnf.num_vars(), f.num_vars());
+  const auto solved = sat::solve_cnf(r.cnf);
+  ASSERT_EQ(solved.status, sat::Status::kSat);
+  const auto full = r.extend_model(solved.model);
+  EXPECT_TRUE(f.satisfied_by(full));
+  EXPECT_EQ(full[0], full[1]);  // the recorded equivalence holds
+}
+
+TEST(Simplify, RemapCompactsVariableRange) {
+  Cnf f;
+  f.add_vars(6);  // x4 never occurs; x5 is fixed by a unit
+  f.add_unit(pos(5));
+  f.add_ternary(pos(0), pos(1), pos(2));
+  f.add_ternary(neg(0), neg(1), pos(3));
+  const auto r = simplify(f);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_EQ(r.original_vars, 6u);
+  EXPECT_LE(r.cnf.num_vars(), 4u);
+  EXPECT_EQ(r.var_map[4], SimplifyResult::kUnmapped);
+  EXPECT_EQ(r.var_map[5], SimplifyResult::kUnmapped);
+  ASSERT_EQ(r.inverse_map.size(), r.cnf.num_vars());
+  for (std::uint32_t v = 0; v < r.original_vars; ++v)
+    if (r.var_map[v] != SimplifyResult::kUnmapped)
+      EXPECT_EQ(r.inverse_map[r.var_map[v]], v);
+  const auto solved = sat::solve_cnf(r.cnf);
+  ASSERT_EQ(solved.status, sat::Status::kSat);
+  const auto full = r.extend_model(solved.model);
+  ASSERT_EQ(full.size(), 6u);
+  EXPECT_TRUE(full[5]);
+  EXPECT_TRUE(f.satisfied_by(full));
+}
+
+TEST(Simplify, RemapOffKeepsVariableSpace) {
+  Cnf f;
+  f.add_vars(6);
+  f.add_unit(pos(5));
+  f.add_ternary(pos(0), pos(1), pos(2));
+  f.add_ternary(neg(0), neg(1), pos(3));
+  SimplifyParams p;
+  p.remap_variables = false;
+  const auto r = simplify(f, p);
+  ASSERT_FALSE(r.unsat);
+  EXPECT_EQ(r.cnf.num_vars(), f.num_vars());
+  const auto solved = sat::solve_cnf(r.cnf);
+  ASSERT_EQ(solved.status, sat::Status::kSat);
+  EXPECT_TRUE(solved.model[5]);  // fixed vars re-emitted as output units
+  const auto full = r.extend_model(solved.model);
+  EXPECT_TRUE(f.satisfied_by(full));
+}
+
+TEST(Simplify, BudgetStopsEarlyButStaysSound) {
+  const Cnf f = random_3sat(30, 120, 7);
+  SimplifyParams p;
+  p.max_propagations = 1;
+  const auto r = simplify(f, p);
+  EXPECT_TRUE(r.stats.budget_exhausted);
+  const auto direct = sat::solve_cnf(f);
+  if (r.unsat) {
+    EXPECT_EQ(direct.status, sat::Status::kUnsat);
+  } else {
+    const auto solved = sat::solve_cnf(r.cnf);
+    EXPECT_EQ(solved.status, direct.status);
+    if (solved.status == sat::Status::kSat) {
+      auto model = solved.model;
+      model.resize(f.num_vars());
+      EXPECT_TRUE(f.satisfied_by(r.extend_model(model)));
+    }
+  }
+}
 
 TEST(Simplify, IdempotentOnFixpoint) {
   const Cnf f = random_3sat(15, 60, 42);
