@@ -26,12 +26,21 @@
 // every sequential solve. Independently of that flag, `--json` always
 // appends a measured simplify on/off comparison ("simplify" block) for the
 // adder_miter and random3sat families.
+//
+// `--proof=on|off` (default off) attaches a DRAT tracer to every
+// sequential solve — the proof text is formatted and discarded, so the
+// flag measures pure emission overhead without disk I/O. Independently of
+// that flag, `--json` always appends a measured proof on/off comparison
+// ("proof" block) on the UNSAT families, recording wall time both ways
+// plus the proof's add/delete step counts.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ostream>
+#include <streambuf>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +51,7 @@
 #include "common/stopwatch.h"
 #include "gen/miter.h"
 #include "sat/portfolio.h"
+#include "sat/proof.h"
 #include "sat/solver.h"
 
 using namespace csat;
@@ -55,6 +65,9 @@ struct Ablation {
   // CNF preprocessing before every sequential solve. Off by default so the
   // --smoke throughput floor keeps measuring raw search.
   bool simplify = false;
+  // DRAT emission into a discarding sink on every sequential solve. Off by
+  // default for the same reason.
+  bool proof = false;
   // 0 = keep the preset's default; sweepable for tuning runs.
   std::uint32_t chrono_threshold = 0;
   std::uint64_t vivify_interval = 0;
@@ -119,18 +132,65 @@ sat::SolverConfig preset(int index) {
   return c;
 }
 
-/// Sequential solve honouring the --simplify ablation: preprocess first
-/// (UNSAT short-circuits the solver entirely) when the lever is on.
-sat::SolveResult solve_sequential(const cnf::Cnf& f,
-                                  const sat::SolverConfig& cfg) {
-  if (!g_ablation.simplify) return sat::solve_cnf(f, cfg);
-  const auto pre = cnf::simplify(f);
+/// Swallows everything written to it, so proof-overhead runs pay the full
+/// DRAT formatting cost but no disk I/O and no unbounded buffering.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+/// Text-DRAT tracer into a NullBuf, counting steps as it goes.
+class DiscardDrat final : public sat::ProofTracer {
+ public:
+  DiscardDrat() : stream_(&buf_), writer_(stream_) {}
+
+  void add(std::span<const cnf::Lit> lits) override {
+    writer_.add(lits);
+    ++adds_;
+  }
+  void remove(std::span<const cnf::Lit> lits) override {
+    writer_.remove(lits);
+    ++deletes_;
+  }
+
+  std::uint64_t adds() const { return adds_; }
+  std::uint64_t deletes() const { return deletes_; }
+
+ private:
+  NullBuf buf_;
+  std::ostream stream_;
+  sat::TextDratWriter writer_;
+  std::uint64_t adds_ = 0;
+  std::uint64_t deletes_ = 0;
+};
+
+/// Sequential solve honouring the --simplify ablation (preprocess first;
+/// UNSAT short-circuits the solver entirely) with an optional DRAT sink.
+/// With simplify on, the preprocessor traces into the sink directly
+/// (original-variable space) and the solver's post-remap steps are
+/// translated back through RemapTracer, mirroring core/pipeline.
+sat::SolveResult solve_traced(const cnf::Cnf& f, const sat::SolverConfig& cfg,
+                              sat::ProofTracer* proof) {
+  if (!g_ablation.simplify) return sat::solve_cnf(f, cfg, {}, proof);
+  cnf::SimplifyParams sp;
+  sp.proof = proof;
+  const auto pre = cnf::simplify(f, sp);
   if (pre.unsat) {
     sat::SolveResult r;
     r.status = sat::Status::kUnsat;
     return r;
   }
-  return sat::solve_cnf(pre.cnf, cfg);
+  if (proof == nullptr) return sat::solve_cnf(pre.cnf, cfg);
+  sat::RemapTracer remap(*proof, pre.inverse_map);
+  return sat::solve_cnf(pre.cnf, cfg, {}, &remap);
+}
+
+sat::SolveResult solve_sequential(const cnf::Cnf& f,
+                                  const sat::SolverConfig& cfg) {
+  if (!g_ablation.proof) return solve_traced(f, cfg, nullptr);
+  DiscardDrat sink;
+  return solve_traced(f, cfg, &sink);
 }
 
 void report_stats(benchmark::State& state, const sat::SolveResult& r,
@@ -314,6 +374,8 @@ int run_json(const char* path, int repeats) {
   out += g_ablation.adaptive ? "true" : "false";
   out += ", \"simplify\": ";
   out += g_ablation.simplify ? "true" : "false";
+  out += ", \"proof\": ";
+  out += g_ablation.proof ? "true" : "false";
   out += ", \"mean_of\": " + std::to_string(repeats) +
          ", \"solver_seeds\": " + std::to_string(kSolverSeeds) + "},\n";
   out += "  \"results\": [\n";
@@ -503,6 +565,66 @@ int run_json(const char* path, int repeats) {
                   agree ? "" : "  VERDICT MISMATCH");
     }
   }
+  // Measured DRAT-emission on/off comparison, always emitted regardless of
+  // --proof: sequential wall time with no tracer vs with a discarding text
+  // tracer, on the UNSAT families (where a complete certificate is actually
+  // produced), plus the proof's step counts. Both arms must stay UNSAT.
+  out += "  ],\n  \"proof\": [\n";
+  {
+    struct ProofFamily {
+      const char* name;
+      std::vector<cnf::Cnf> instances;
+    };
+    ProofFamily pfams[] = {{"pigeonhole", {}}, {"adder_miter", {}}};
+    pfams[0].instances.push_back(pigeonhole(7));
+    pfams[0].instances.push_back(pigeonhole(8));
+    for (int w : {16, 32}) pfams[1].instances.push_back(adder_miter_cnf(w));
+    bool pfirst = true;
+    for (ProofFamily& fam : pfams) {
+      double off_seconds = 0.0, on_seconds = 0.0;
+      std::uint64_t adds = 0, deletes = 0;
+      bool all_unsat = true;
+      for (int rep = 0; rep < repeats; ++rep) {
+        adds = deletes = 0;
+        const sat::SolverConfig cfg = preset(0);
+        for (const cnf::Cnf& f : fam.instances) {
+          Stopwatch off_watch;
+          const auto off = solve_traced(f, cfg, nullptr);
+          off_seconds += off_watch.seconds();
+          DiscardDrat sink;
+          Stopwatch on_watch;
+          const auto on = solve_traced(f, cfg, &sink);
+          on_seconds += on_watch.seconds();
+          adds += sink.adds();
+          deletes += sink.deletes();
+          all_unsat &= off.status == sat::Status::kUnsat &&
+                       on.status == sat::Status::kUnsat;
+        }
+      }
+      const double off_ms = off_seconds / repeats * 1e3;
+      const double on_ms = on_seconds / repeats * 1e3;
+      const double overhead_pct =
+          off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+      char line[384];
+      std::snprintf(line, sizeof(line),
+                    "    %s{\"family\": \"%s\", \"off_ms\": %.3f, "
+                    "\"on_ms\": %.3f, \"overhead_pct\": %.1f, "
+                    "\"proof_adds\": %llu, \"proof_deletes\": %llu, "
+                    "\"all_unsat\": %s}",
+                    pfirst ? "" : ",", fam.name, off_ms, on_ms, overhead_pct,
+                    static_cast<unsigned long long>(adds),
+                    static_cast<unsigned long long>(deletes),
+                    all_unsat ? "true" : "false");
+      out += line;
+      out += '\n';
+      pfirst = false;
+      std::printf("json proof %-12s off %8.1f ms  on %8.1f ms  (%+.1f%%)  "
+                  "%llu adds%s\n",
+                  fam.name, off_ms, on_ms, overhead_pct,
+                  static_cast<unsigned long long>(adds),
+                  all_unsat ? "" : "  VERDICT MISMATCH");
+    }
+  }
   out += "  ]\n}\n";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -581,6 +703,8 @@ int main(int argc, char** argv) {
       bad = !parse_onoff(a.substr(11), g_ablation.adaptive);
     } else if (a.rfind("--simplify=", 0) == 0) {
       bad = !parse_onoff(a.substr(11), g_ablation.simplify);
+    } else if (a.rfind("--proof=", 0) == 0) {
+      bad = !parse_onoff(a.substr(8), g_ablation.proof);
     } else if (a.rfind("--chrono-threshold=", 0) == 0) {
       g_ablation.chrono_threshold =
           static_cast<std::uint32_t>(std::atoi(argv[i] + 19));

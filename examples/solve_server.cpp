@@ -6,6 +6,14 @@
 //   $ printf 'solve id=a expect=unsat family=adder_miter:6\nquit\n' |
 //       ./solve_server --workers=2
 //
+// Requests may add `proof=PATH` to stream a text DRAT certificate of the
+// encoded CNF to PATH while solving (complete exactly when the verdict is
+// UNSAT). Proof requests require the sequential backend — combining
+// proof= with backend=portfolio is an error response — and bypass the
+// result cache in both directions, since a cache hit carries no
+// derivation. The response then includes a "proof" block with the path
+// and step counts; see docs/PROTOCOL.md.
+//
 //   Flags: --workers=N            worker pool size (0 = hardware)
 //          --queue=N              bounded request-queue capacity
 //          --cache=N              result-cache entries (0 disables)

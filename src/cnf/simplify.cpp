@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "sat/proof.h"
 
 namespace csat::cnf {
 
@@ -48,7 +49,13 @@ class Simplifier {
   }
 
   SimplifyResult run() {
-    if (params_.unit_propagation) propagate_units();
+    // Tracing starts here, not in the constructor: the original clauses are
+    // the proof's premise set and must not appear as derivation steps.
+    // Proof mode implies unit propagation — a pending unit the formula no
+    // longer shows (its source clause died) would otherwise let a
+    // pure-literal step slip past the checker's RAT scan.
+    tracing_ = params_.proof != nullptr;
+    if (params_.unit_propagation || tracing_) propagate_units();
     for (int round = 0; round < params_.max_rounds && !unsat_ && !exhausted_;
          ++round) {
       // Pure-literal and BVE sweeps only look at variables whose
@@ -62,7 +69,7 @@ class Simplifier {
         for (std::uint32_t v : round_vars_) touched_flag_[v] = 0;
       }
       bool changed = false;
-      if (params_.unit_propagation) changed |= propagate_units();
+      if (params_.unit_propagation || tracing_) changed |= propagate_units();
       if (unsat_ || exhausted_) break;
       if (params_.pure_literals) changed |= eliminate_pures();
       if (params_.failed_literal_probing) changed |= probe();
@@ -107,6 +114,34 @@ class Simplifier {
     sub_queue_.push_back(idx);
   }
 
+  // --- proof emission ---------------------------------------------------------
+  //
+  // Every mutation of the live clause set is mirrored as DRAT add/delete
+  // steps in the *input* variable space (tracing stops before remapping).
+  // The invariant that makes the pure-literal RAT steps checkable is that
+  // the checker's active non-unit clauses are exactly the live clauses
+  // here: adds are emitted in the stored, normalized form, and every kill
+  // or in-place rewrite emits the matching delete. Unit clauses are the
+  // one exception — the checker ignores unit deletions (its root
+  // assignment only grows), which matches a fixed variable never becoming
+  // pure-eligible again.
+
+  void proof_add(std::span<const Lit> lits) {
+    if (tracing_) params_.proof->add(lits);
+  }
+  void proof_add1(Lit l) { proof_add(std::span<const Lit>(&l, 1)); }
+  void proof_add2(Lit a, Lit b) {
+    const Lit pair[2] = {a, b};
+    proof_add(pair);
+  }
+  void proof_delete(std::span<const Lit> lits) {
+    if (tracing_) params_.proof->remove(lits);
+  }
+  void proof_delete2(Lit a, Lit b) {
+    const Lit pair[2] = {a, b};
+    proof_delete(pair);
+  }
+
   // --- clause management ----------------------------------------------------
 
   bool add_clause(std::span<const Lit> in) {
@@ -127,9 +162,14 @@ class Simplifier {
       return false;
     }
     if (lits.size() == 1) {
+      // Emitted now, not when the pending unit is fixed: the only traced
+      // caller is BVE, whose parent clauses (the RUP witnesses) are gone
+      // by the time propagate_units runs.
+      proof_add(lits);
       pending_units_.push_back(lits[0]);
       return true;
     }
+    proof_add(lits);
     const auto idx = static_cast<std::uint32_t>(clauses_.size());
     WorkClause wc;
     wc.lits = std::move(lits);
@@ -146,6 +186,7 @@ class Simplifier {
 
   void kill_clause(std::uint32_t idx) {
     if (!clauses_[idx].alive) return;
+    if (clauses_[idx].lits.size() >= 2) proof_delete(clauses_[idx].lits);
     clauses_[idx].alive = false;
     ++stats_.removed_clauses;
     for (Lit l : clauses_[idx].lits) {
@@ -184,6 +225,11 @@ class Simplifier {
     }
     assign_[v] = l.sign() ? 0 : 1;
     stack_.push_back({SimplifyResult::Reconstruction::Kind::kFixed, v, l, {}});
+    // The unit step itself. RUP for propagated and failed literals (the
+    // deriving clauses are still present), RAT on l for pure literals (no
+    // active clause contains !l). Both-phase probe lifts are covered by
+    // helper binaries the probe loop emits just before calling here.
+    proof_add1(l);
     // Satisfied clauses die; falsified literals shrink clauses.
     scratch_ = occ(l);
     charge_props(scratch_.size() + 1);
@@ -193,6 +239,7 @@ class Simplifier {
     for (std::uint32_t idx : scratch_) {
       WorkClause& c = clauses_[idx];
       if (!c.alive) continue;
+      if (tracing_) proof_old_ = c.lits;
       c.lits.erase(std::remove(c.lits.begin(), c.lits.end(), !l), c.lits.end());
       c.signature = signature_of(c.lits);
       for (Lit m : c.lits) touch_var(m.var());
@@ -200,6 +247,10 @@ class Simplifier {
         unsat_ = true;
         return true;
       }
+      // The shrunk clause is RUP against {old clause, unit l}; the old
+      // form is deleted so a stale copy can't block a later RAT step.
+      proof_add(c.lits);
+      proof_delete(proof_old_);
       if (c.lits.size() == 1) {
         pending_units_.push_back(c.lits[0]);
         kill_clause(idx);
@@ -355,7 +406,16 @@ class Simplifier {
       for (Lit f : fixes) {
         if (unsat_ || assign_[f.var()] != -1) continue;
         ++stats_.failed_literals;
+        // f alone is not RUP (deriving it needs a case split on v), so
+        // bridge with two helper binaries, each RUP via one probe trail:
+        // (!v or f) from the v-true phase, (v or f) from the v-false
+        // phase. Resolving them yields the unit; then they are retracted
+        // so they can't shadow a later pure/RAT step on v.
+        proof_add2(Lit::make(v, true), f);
+        proof_add2(Lit::make(v, false), f);
         fix_literal(f);
+        proof_delete2(Lit::make(v, true), f);
+        proof_delete2(Lit::make(v, false), f);
         changed = true;
       }
       propagate_units();
@@ -371,6 +431,14 @@ class Simplifier {
     stack_.push_back(
         {SimplifyResult::Reconstruction::Kind::kEquivalent, m, rep, {}});
     ++stats_.equivalent_literals;
+    // The two equivalence binaries (!m or rep) and (m or !rep). Each is RUP
+    // via one phase of the probe trail that discovered the equivalence (the
+    // caller emits these before anything mutates the clause set). Every
+    // rewritten clause below is then RUP against {its old form, one of
+    // these binaries}; they are retracted at the end so m's ghost
+    // occurrences can't block a later RAT step.
+    proof_add2(Lit::make(m, true), rep);
+    proof_add2(Lit::make(m, false), !rep);
     for (const bool sgn : {false, true}) {
       const Lit s = Lit::make(m, sgn);
       const Lit r = rep ^ sgn;
@@ -385,12 +453,15 @@ class Simplifier {
         }
         const bool had_r =
             std::binary_search(c.lits.begin(), c.lits.end(), r);
+        if (tracing_) proof_old_ = c.lits;
         *std::find(c.lits.begin(), c.lits.end(), s) = r;
         std::sort(c.lits.begin(), c.lits.end());
         if (had_r)
           c.lits.erase(std::unique(c.lits.begin(), c.lits.end()),
                        c.lits.end());
         c.signature = signature_of(c.lits);
+        proof_add(c.lits);
+        proof_delete(proof_old_);
         for (Lit l : c.lits) touch_var(l.var());
         if (c.lits.size() == 1) {
           pending_units_.push_back(c.lits[0]);
@@ -403,6 +474,8 @@ class Simplifier {
       occ_[s.x].entries.clear();
       occ_[s.x].dirty = 0;
     }
+    proof_delete2(Lit::make(m, true), rep);
+    proof_delete2(Lit::make(m, false), !rep);
     touch_var(m);
     touch_var(rep.var());
     propagate_units();
@@ -484,9 +557,14 @@ class Simplifier {
           if (probe.lits.size() > clauses_[di].lits.size()) continue;
           if (!subset_of(probe, clauses_[di])) continue;
           WorkClause& d = clauses_[di];
+          if (tracing_) proof_old_ = d.lits;
           d.lits.erase(std::remove(d.lits.begin(), d.lits.end(), !flip),
                        d.lits.end());
           d.signature = signature_of(d.lits);
+          // The strengthened clause is the resolvent of c and d on `flip`;
+          // both parents are still present, so it is RUP.
+          proof_add(d.lits);
+          proof_delete(proof_old_);
           ++occ_[(!flip).x].dirty;
           ++stats_.strengthened_clauses;
           for (Lit l : d.lits) touch_var(l.var());
@@ -561,11 +639,15 @@ class Simplifier {
       for (std::uint32_t idx : pos) rec.clauses.push_back(clauses_[idx].lits);
       for (std::uint32_t idx : neg) rec.clauses.push_back(clauses_[idx].lits);
       stack_.push_back(std::move(rec));
+      // Resolvents go in before the parents die: each resolvent's RUP
+      // check in proof mode resolves against the still-present parents.
+      // (The final clause set is the same either way — resolvents never
+      // mention v, so the pos/neg snapshots stay exact.)
+      for (const auto& r : resolvents)
+        if (!add_clause(r)) break;
       for (std::uint32_t idx : pos) kill_clause(idx);
       for (std::uint32_t idx : neg) kill_clause(idx);
       ++stats_.eliminated_vars;
-      for (const auto& r : resolvents)
-        if (!add_clause(r)) break;
       propagate_units();
       changed = true;
     }
@@ -583,6 +665,11 @@ class Simplifier {
     stats_.budget_exhausted = exhausted_;
 
     if (unsat_) {
+      // Cap the proof with the empty clause. Every unsat_ site has already
+      // put the checker in root conflict (two opposing units, or a clause
+      // whose literals are all falsified by emitted units), so this final
+      // step always verifies.
+      proof_add(std::span<const Lit>{});
       // Canonical unsatisfiable formula: zero variables, one empty clause.
       // (The old contradictory-unit encoding emitted out-of-range literals
       // for 0-variable inputs.)
@@ -643,6 +730,8 @@ class Simplifier {
   SimplifyStats stats_;
   bool unsat_ = false;
   bool exhausted_ = false;
+  bool tracing_ = false;        // params_.proof set and run() has started
+  std::vector<Lit> proof_old_;  // pre-rewrite snapshot for add/delete pairs
   Stopwatch watch_;
   std::uint64_t clock_ticks_ = 0;
   std::vector<int> assign_;  // -1 unknown, 0 false, 1 true

@@ -36,6 +36,10 @@
 
 #include "cnf/cnf.h"
 
+namespace csat::sat {
+class ProofTracer;  // sat/proof.h
+}
+
 namespace csat::cnf {
 
 struct SimplifyParams {
@@ -69,6 +73,16 @@ struct SimplifyParams {
   /// the *output* depend on machine speed, which breaks run-to-run
   /// determinism (the step budgets above are the deterministic guards).
   double max_seconds = std::numeric_limits<double>::infinity();
+  /// Optional DRAT proof sink (sat/proof.h; not owned). When set, every
+  /// state change — unit/failed-literal/pure fixes, equivalence
+  /// substitutions, subsumption kills, strengthenings, BVE resolvents and
+  /// parent deletions — is emitted as add/delete steps *in the input
+  /// variable space*, before any dense remapping, so the proof composes
+  /// with the solver's continuation (translated back through
+  /// sat::RemapTracer) into one refutation of the original formula.
+  /// Proof mode implies unit propagation: pending units are always
+  /// drained so pure-literal steps stay RAT-checkable.
+  csat::sat::ProofTracer* proof = nullptr;
 };
 
 struct SimplifyStats {

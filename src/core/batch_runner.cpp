@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 
 namespace csat::core {
@@ -14,6 +15,10 @@ BatchResult run_batch(const std::vector<aig::Aig>& instances,
   BatchResult batch;
   batch.results.resize(instances.size());
   if (instances.empty()) return batch;
+  CSAT_CHECK_MSG(options.pipeline.proof == nullptr,
+                 "run_batch: use BatchOptions::proof_sink for proofs — a "
+                 "single PipelineOptions::proof tracer would interleave "
+                 "steps across worker threads");
 
   std::size_t workers = options.num_workers;
   if (workers == 0) {
@@ -35,7 +40,13 @@ BatchResult run_batch(const std::vector<aig::Aig>& instances,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= instances.size()) return;
-      batch.results[i] = solve_instance(instances[i], options.pipeline);
+      if (options.proof_sink) {
+        PipelineOptions popt = options.pipeline;
+        popt.proof = options.proof_sink(i);
+        batch.results[i] = solve_instance(instances[i], popt);
+      } else {
+        batch.results[i] = solve_instance(instances[i], options.pipeline);
+      }
       if (options.on_result) {
         const std::lock_guard<std::mutex> lock(callback_mutex);
         options.on_result(i, batch.results[i]);

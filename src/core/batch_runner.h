@@ -32,6 +32,14 @@ struct BatchOptions {
   /// worker that ran it (guarded by an internal mutex, so the callback may
   /// touch shared state). Receives the input-order index and the result.
   std::function<void(std::size_t, const PipelineResult&)> on_result;
+  /// Per-instance DRAT proof sinks: instance i runs with proof_sink(i) as
+  /// its PipelineOptions::proof (return nullptr to skip an instance). This
+  /// is the only way to get proofs out of a batch — PipelineOptions::proof
+  /// must stay null here, because one shared tracer would interleave steps
+  /// across worker threads (run_batch enforces this). Called from worker
+  /// threads, unserialized: each index must get its own tracer. Requires
+  /// the kSingle backend, like every proof path.
+  std::function<sat::ProofTracer*(std::size_t)> proof_sink;
 };
 
 struct BatchResult {

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "sat/portfolio.h"
+#include "sat/proof.h"
 
 namespace csat::core {
 
@@ -49,16 +50,18 @@ struct BackendResult {
 };
 
 BackendResult run_backend(const cnf::Cnf& formula,
-                          const PipelineOptions& options) {
+                          const PipelineOptions& options,
+                          sat::ProofTracer* proof) {
   BackendResult out;
   if (options.backend == SolveBackend::kSingle) {
-    out.solve = sat::solve_cnf(formula, options.solver, options.limits);
+    out.solve = sat::solve_cnf(formula, options.solver, options.limits, proof);
     return out;
   }
   sat::PortfolioOptions popt = sat::make_portfolio_options(
       options.solver, options.portfolio_size, options.limits);
   popt.deterministic = options.portfolio_deterministic;
   popt.sharing = options.portfolio_sharing;
+  popt.proof = proof;  // non-null => solve_portfolio fails loudly
   auto r = sat::solve_portfolio(formula, popt);
   out.solve.status = r.status;
   out.solve.stats = r.stats;
@@ -74,10 +77,21 @@ BackendResult run_backend(const cnf::Cnf& formula,
 struct EncodedFormula {
   cnf::Cnf formula;
   std::optional<cnf::SimplifyResult> simplified;
+  std::optional<sat::RemapTracer> remap;
 
   /// True when preprocessing already refuted the formula (no solve needed).
   [[nodiscard]] bool proved_unsat() const {
     return simplified.has_value() && simplified->unsat;
+  }
+
+  /// Proof sink for the backend solve. The simplifier already emitted its
+  /// steps in the encoded variable space; when it remapped, the solver's
+  /// steps must be translated back through inverse_map so the combined
+  /// stream refutes the encoded formula.
+  [[nodiscard]] sat::ProofTracer* solver_proof(sat::ProofTracer* proof) {
+    if (proof == nullptr || !simplified.has_value()) return proof;
+    remap.emplace(*proof, simplified->inverse_map);
+    return &*remap;
   }
 
   /// Maps a model of `formula` (dense, remapped variables when simplified)
@@ -97,7 +111,9 @@ EncodedFormula maybe_simplify(cnf::Cnf cnf, const PipelineOptions& options,
     e.formula = std::move(cnf);
     return e;
   }
-  e.simplified = cnf::simplify(cnf, options.simplify_params);
+  cnf::SimplifyParams sp = options.simplify_params;
+  sp.proof = options.proof;
+  e.simplified = cnf::simplify(cnf, sp);
   e.formula = e.simplified->cnf;
   result.simplified = true;
   result.simplified_vars = e.formula.num_vars();
@@ -120,14 +136,14 @@ PipelineResult run_baseline(const aig::Aig& instance,
     result.witness.assign(instance.num_pis(), false);
     return result;
   }
-  const auto ef = maybe_simplify(enc.cnf, options, result);
+  auto ef = maybe_simplify(enc.cnf, options, result);
   result.preprocess_seconds = watch.seconds();
   if (ef.proved_unsat()) {
     result.status = sat::Status::kUnsat;
     return result;
   }
   watch.restart();
-  const auto r = run_backend(ef.formula, options);
+  const auto r = run_backend(ef.formula, options, ef.solver_proof(options.proof));
   result.solve_seconds = watch.seconds();
   result.status = r.solve.status;
   result.solver_stats = r.solve.stats;
@@ -197,14 +213,14 @@ PipelineResult solve_instance(const aig::Aig& instance,
     return result;
   }
   watch.restart();
-  const auto ef = maybe_simplify(p.cnf, options, result);
+  auto ef = maybe_simplify(p.cnf, options, result);
   result.preprocess_seconds += watch.seconds();
   if (ef.proved_unsat()) {
     result.status = sat::Status::kUnsat;
     return result;
   }
   watch.restart();
-  const auto r = run_backend(ef.formula, options);
+  const auto r = run_backend(ef.formula, options, ef.solver_proof(options.proof));
   result.solve_seconds = watch.seconds();
   result.status = r.solve.status;
   result.solver_stats = r.solve.stats;

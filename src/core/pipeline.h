@@ -82,6 +82,14 @@ struct PipelineOptions {
   /// those arms fall back to the fixed compress2 script (documented).
   const rl::DqnAgent* agent = nullptr;
   std::uint64_t seed = 1;  ///< randomness for kOursRandom
+  /// Optional DRAT proof sink (sat/proof.h; not owned). Steps are emitted
+  /// in the variable space of the *encoded* CNF: the simplifier traces its
+  /// rewrites before remapping, and the solver's steps are translated back
+  /// through sat::RemapTracer, so the whole stream is one checkable
+  /// refutation of the formula reported in cnf_vars/cnf_clauses. Requires
+  /// backend == kSingle — portfolio workers interleave shared clauses that
+  /// are not derivable from any one worker's run (hard error otherwise).
+  sat::ProofTracer* proof = nullptr;
 };
 
 struct PipelineResult {

@@ -2,7 +2,9 @@
 
 #include <charconv>
 #include <cmath>
+#include <fstream>
 #include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +20,7 @@
 #include "gen/random_circuit.h"
 #include "gen/suite.h"
 #include "sat/portfolio.h"
+#include "sat/proof.h"
 
 namespace csat::core {
 
@@ -80,14 +83,14 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
   return ec == std::errc{} && p == end && !s.empty();
 }
 
+// from_chars, not stod: stod honors the process locale, so a client
+// sending "0.5" to a server running under a comma-decimal locale (LC_ALL=
+// de_DE and friends) would get a parse error — or silently accept "0,5".
+// The wire format is locale-independent; the parser must be too.
 bool parse_double(const std::string& s, double& out) {
-  try {
-    std::size_t used = 0;
-    out = std::stod(s, &used);
-    return used == s.size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  const char* end = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && p == end && !s.empty();
 }
 
 /// Splits "name:arg1:arg2" on ':'.
@@ -186,10 +189,35 @@ aig::Aig build_family(const std::string& spec) {
     p.count = static_cast<int>(arg(1, 0, 1, 4096));
     p.seed = arg(2, 1, 0, kNoConflicts);
     const auto index = arg(3, 0, 0, static_cast<std::uint64_t>(p.count) - 1);
-    return gen::make_suite(p)[index].circuit;
+    // Only the requested instance is built; earlier indices are skipped by
+    // replaying their RNG draws (suite:4096:s:4095 used to materialize all
+    // 4096 circuits to serve one).
+    return gen::make_suite_instance(p, static_cast<int>(index)).circuit;
   }
   throw std::runtime_error("unknown family: " + name);
 }
+
+/// Text DRAT writer that also counts the steps for the response's proof
+/// block (the writer itself is deliberately count-free).
+class CountingDratTracer final : public sat::ProofTracer {
+ public:
+  explicit CountingDratTracer(std::ostream& out) : writer_(out) {}
+  void add(std::span<const cnf::Lit> lits) override {
+    ++adds_;
+    writer_.add(lits);
+  }
+  void remove(std::span<const cnf::Lit> lits) override {
+    ++deletes_;
+    writer_.remove(lits);
+  }
+  [[nodiscard]] std::uint64_t adds() const { return adds_; }
+  [[nodiscard]] std::uint64_t deletes() const { return deletes_; }
+
+ private:
+  sat::TextDratWriter writer_;
+  std::uint64_t adds_ = 0;
+  std::uint64_t deletes_ = 0;
+};
 
 BuiltInstance build_instance(const ServerRequest& request) {
   switch (request.instance) {
@@ -264,6 +292,18 @@ std::string ServerResponse::to_json() const {
            std::to_string(simplify_stats.removed_clauses);
     out += ",\"seconds\":";
     append_double(out, simplify_stats.seconds);
+    out += '}';
+  }
+  // DRAT proof report (PR 7): where the derivation went and whether it is
+  // a complete refutation (only UNSAT verdicts cap the file with the empty
+  // clause; SAT/UNKNOWN leave a truncated trace behind).
+  if (proof_requested) {
+    out += ",\"proof\":{\"file\":";
+    append_json_string(out, proof_path);
+    out += ",\"adds\":" + std::to_string(proof_adds);
+    out += ",\"deletes\":" + std::to_string(proof_deletes);
+    out += ",\"complete\":";
+    out += proof_complete ? "true" : "false";
     out += '}';
   }
   if (has_expect) {
@@ -421,7 +461,22 @@ ServerResponse SolveServer::process(ServerRequest& request,
   response.vars = built.formula.num_vars();
   response.clauses = built.formula.num_clauses();
 
-  const bool caching = request.use_cache && options_.cache_capacity > 0;
+  const bool want_proof = !request.proof_file.empty();
+  if (want_proof && request.backend != SolveBackend::kSingle) {
+    response.error =
+        "proof= requires backend=sequential: a portfolio race's winner "
+        "depends on wall-clock timing and shared clauses, so it has no "
+        "single-solver DRAT derivation";
+    response.seconds = watch.seconds();
+    return response;
+  }
+
+  // Proof requests bypass the cache entirely: a cached verdict carries no
+  // derivation, and publishing a proof-run verdict for cache consumers
+  // would be fine but keeps the singleflight logic entangled with the
+  // proof file's lifetime for no benefit.
+  const bool caching =
+      request.use_cache && options_.cache_capacity > 0 && !want_proof;
   response.cache = caching ? "miss" : "off";
 
   bool served_from_cache = false;
@@ -471,8 +526,24 @@ ServerResponse SolveServer::process(ServerRequest& request,
       limits.max_seconds = request.limits.max_seconds;
     limits.terminate = &cancel_;
 
+    std::ofstream proof_stream;
+    std::optional<CountingDratTracer> proof;
+    if (want_proof) {
+      proof_stream.open(request.proof_file, std::ios::trunc);
+      if (!proof_stream) {
+        response.error =
+            "proof=: cannot open file for writing: " + request.proof_file;
+        response.seconds = watch.seconds();
+        return response;
+      }
+      proof.emplace(proof_stream);
+    }
+
     if (built.trivially_unsat) {
       response.status = sat::Status::kUnsat;
+      // The encoder materialized the contradiction as the units f and !f,
+      // so the empty clause alone is RUP against the formula.
+      if (proof.has_value()) proof->add(std::span<const cnf::Lit>{});
     } else if (built.trivially_sat) {
       response.status = sat::Status::kSat;
       response.model_size = built.witness_units;
@@ -484,7 +555,9 @@ ServerResponse SolveServer::process(ServerRequest& request,
       const cnf::Cnf* to_solve = &built.formula;
       bool proved_unsat = false;
       if (request.simplify.value_or(options_.default_simplify)) {
-        simplified = cnf::simplify(built.formula, options_.simplify_params);
+        cnf::SimplifyParams sparams = options_.simplify_params;
+        sparams.proof = proof.has_value() ? &*proof : nullptr;
+        simplified = cnf::simplify(built.formula, sparams);
         response.simplify_enabled = true;
         response.simplified_vars = simplified.cnf.num_vars();
         response.simplified_clauses = simplified.cnf.num_clauses();
@@ -496,9 +569,20 @@ ServerResponse SolveServer::process(ServerRequest& request,
       if (proved_unsat) {
         response.status = sat::Status::kUnsat;
       } else if (request.backend == SolveBackend::kSingle) {
+        // When the simplifier remapped variables, the solver's proof steps
+        // are translated back so the file stays one derivation in the
+        // original formula's variable space.
+        sat::ProofTracer* solver_proof = proof.has_value() ? &*proof : nullptr;
+        std::optional<sat::RemapTracer> remap;
+        if (solver_proof != nullptr && response.simplify_enabled) {
+          remap.emplace(*solver_proof, simplified.inverse_map);
+          solver_proof = &*remap;
+        }
         solver.reset();
+        if (solver_proof != nullptr) solver.set_proof(solver_proof);
         solver.add_formula(*to_solve);
         response.status = solver.solve(limits);
+        solver.set_proof(nullptr);  // the tracer dies with this request
         response.stats = solver.stats();
         if (response.status == sat::Status::kSat)
           response.model_size = built.witness_units;
@@ -514,6 +598,14 @@ ServerResponse SolveServer::process(ServerRequest& request,
         if (response.status == sat::Status::kSat)
           response.model_size = built.witness_units;
       }
+    }
+
+    if (want_proof) {
+      response.proof_requested = true;
+      response.proof_path = request.proof_file;
+      response.proof_adds = proof->adds();
+      response.proof_deletes = proof->deletes();
+      response.proof_complete = response.status == sat::Status::kUnsat;
     }
 
     // The cache itself rejects (and counts) kUnknown verdicts: an exhausted
@@ -677,6 +769,12 @@ std::optional<ServerRequest> SolveServer::parse_request(
         return std::nullopt;
       }
       request.simplify = value == "on";
+    } else if (key == "proof") {
+      if (value.empty()) {
+        error = "proof= needs a file path";
+        return std::nullopt;
+      }
+      request.proof_file = value;
     } else if (key == "expect") {
       if (value == "sat") {
         request.expect = sat::Status::kSat;

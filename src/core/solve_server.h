@@ -84,6 +84,15 @@ struct ServerRequest {
   /// Self-check: when set, the response's "expect" field reports whether
   /// the verdict matched, and the server counts mismatches.
   std::optional<sat::Status> expect;
+  /// DRAT proof output (`proof=PATH`): when non-empty, the solve streams a
+  /// text DRAT derivation of the *original* formula to this file (simplify
+  /// steps included; solver steps translated back through the simplifier's
+  /// variable map). Requires backend == kSingle — a portfolio race has no
+  /// single-solver derivation — and bypasses the result cache both ways: a
+  /// cached verdict carries no proof, and a proof request's verdict is not
+  /// inserted (its budget/answer are still per-request). The file is a
+  /// complete refutation only when the verdict is UNSAT.
+  std::string proof_file;
 };
 
 /// One response, produced exactly once per accepted request (and for every
@@ -116,6 +125,14 @@ struct ServerResponse {
   cnf::SimplifyStats simplify_stats;
   bool has_expect = false;
   bool expect_ok = true;
+  /// Proof report (`proof=` requests only): where the DRAT stream went,
+  /// how many add/delete lines were emitted, and whether it is a complete
+  /// refutation (verdict was UNSAT; SAT/UNKNOWN leave a truncated trace).
+  bool proof_requested = false;
+  std::string proof_path;
+  std::uint64_t proof_adds = 0;
+  std::uint64_t proof_deletes = 0;
+  bool proof_complete = false;
 
   /// Single-line JSON rendering (no trailing newline), the wire format of
   /// docs/PROTOCOL.md.

@@ -159,27 +159,48 @@ Instance make_atpg_instance(Family family, int width, std::uint64_t seed,
   return inst;
 }
 
+/// One instance worth of RNG draws + construction. make_suite and
+/// make_suite_instance both route through here so the draw sequence (and
+/// therefore every generated circuit) stays identical between them.
+Instance draw_instance(const SuiteParams& params, Rng& rng, int i) {
+  const Family family = pick_family(params, rng);
+  const FamilyRange& fr = range_of(params, family);
+  CSAT_CHECK(fr.min_width >= 2 && fr.max_width >= fr.min_width);
+  const int width = static_cast<int>(rng.next_int(fr.min_width, fr.max_width));
+  const std::uint64_t inst_seed = rng.next_u64();
+  if (rng.next_double() < params.atpg_fraction)
+    return make_atpg_instance(family, width, inst_seed, i);
+  const bool bug = rng.next_double() < params.bug_fraction;
+  return make_lec_instance(family, width, bug, inst_seed, i);
+}
+
+/// Consumes exactly the RNG draws draw_instance would, building nothing.
+void skip_instance(const SuiteParams& params, Rng& rng) {
+  const Family family = pick_family(params, rng);
+  const FamilyRange& fr = range_of(params, family);
+  CSAT_CHECK(fr.min_width >= 2 && fr.max_width >= fr.min_width);
+  (void)rng.next_int(fr.min_width, fr.max_width);
+  (void)rng.next_u64();
+  if (!(rng.next_double() < params.atpg_fraction)) (void)rng.next_double();
+}
+
 }  // namespace
 
 std::vector<Instance> make_suite(const SuiteParams& params) {
   Rng rng(params.seed);
   std::vector<Instance> suite;
   suite.reserve(params.count);
-  for (int i = 0; i < params.count; ++i) {
-    const Family family = pick_family(params, rng);
-    const FamilyRange& fr = range_of(params, family);
-    CSAT_CHECK(fr.min_width >= 2 && fr.max_width >= fr.min_width);
-    const int width =
-        static_cast<int>(rng.next_int(fr.min_width, fr.max_width));
-    const std::uint64_t inst_seed = rng.next_u64();
-    if (rng.next_double() < params.atpg_fraction) {
-      suite.push_back(make_atpg_instance(family, width, inst_seed, i));
-    } else {
-      const bool bug = rng.next_double() < params.bug_fraction;
-      suite.push_back(make_lec_instance(family, width, bug, inst_seed, i));
-    }
-  }
+  for (int i = 0; i < params.count; ++i)
+    suite.push_back(draw_instance(params, rng, i));
   return suite;
+}
+
+Instance make_suite_instance(const SuiteParams& params, int index) {
+  CSAT_CHECK_MSG(index >= 0 && index < params.count,
+                 "make_suite_instance: index out of range");
+  Rng rng(params.seed);
+  for (int i = 0; i < index; ++i) skip_instance(params, rng);
+  return draw_instance(params, rng, index);
 }
 
 std::vector<Instance> make_training_suite(int count, std::uint64_t seed) {

@@ -54,6 +54,14 @@ struct SuiteParams {
 /// Mixed LEC+ATPG suite per \p params.
 std::vector<Instance> make_suite(const SuiteParams& params);
 
+/// Builds only instance \p index (0-based, < params.count) of
+/// make_suite(params) — bit-identical to make_suite(params)[index], but the
+/// preceding instances are skipped by replaying their RNG draws instead of
+/// constructing their circuits, so the cost is O(index) cheap draws plus
+/// one build. This is what request-at-a-time consumers (the solve server's
+/// `family=suite:count:seed:index`) should use.
+Instance make_suite_instance(const SuiteParams& params, int index);
+
 /// Paper-analog "easy" training suite (Table I class): small widths.
 std::vector<Instance> make_training_suite(int count = 200, std::uint64_t seed = 7);
 

@@ -51,6 +51,11 @@ PortfolioResult solve_portfolio(const Cnf& formula,
           ? default_portfolio(options.num_workers, options.seed)
           : options.configs;
   CSAT_CHECK_MSG(!configs.empty(), "portfolio needs at least one config");
+  CSAT_CHECK_MSG(options.proof == nullptr,
+                 "proof emission requires the sequential backend: a portfolio "
+                 "run's winner depends on a wall-clock race and (with sharing) "
+                 "on clauses imported from other workers, neither of which "
+                 "yields a checkable single-solver DRAT derivation");
   const std::size_t n = configs.size();
 
   PortfolioResult result;

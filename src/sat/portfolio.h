@@ -74,6 +74,15 @@ struct PortfolioOptions {
   bool deterministic = false;
   /// Cross-worker learnt-clause sharing (on by default for real races).
   ClauseSharingOptions sharing;
+  /// Proof emission is deliberately unsupported here and solve_portfolio
+  /// hard-fails when this is non-null: a DRAT stream certifies ONE
+  /// solver's derivation sequence, but a portfolio winner's run interleaves
+  /// imported clauses whose derivations live in other workers' logs (and
+  /// even without sharing, which worker answers is a wall-clock race, so
+  /// the proof would not be reproducible). Callers that need a checkable
+  /// UNSAT must use the sequential backend. The field exists so the
+  /// refusal is typed and loud instead of a silently ignored option.
+  ProofTracer* proof = nullptr;
 };
 
 /// Diversified configuration family: alternating kissat-like / cadical-like

@@ -8,6 +8,7 @@
 #include "common/luby.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "sat/proof.h"
 
 namespace csat::sat {
 
@@ -111,9 +112,39 @@ void Solver::reset() {
   adapt_lost_ = 0;
   adapt_seen_ = 0;
   shared_hashes_.clear();
+  proof_ = nullptr;
+  proof_empty_emitted_ = false;
   rng_state_ = config_.seed | 1;
   model_.clear();
   assumptions_.clear();
+}
+
+void Solver::set_proof(ProofTracer* tracer) {
+  if (tracer != nullptr) {
+    CSAT_CHECK_MSG(exchange_ == nullptr,
+                   "proof emission and clause sharing are mutually exclusive "
+                   "(imported clauses are not RUP-derivable from this "
+                   "worker's run)");
+    CSAT_CHECK_MSG(num_vars() == 0,
+                   "set_proof() must be called before clauses are added: the "
+                   "proof's premise set is the formula added afterwards");
+  }
+  proof_ = tracer;
+  proof_empty_emitted_ = false;
+}
+
+void Solver::emit_proof_add(std::span<const Lit> lits) { proof_->add(lits); }
+
+void Solver::emit_proof_delete(std::span<const Lit> lits) {
+  proof_->remove(lits);
+}
+
+Status Solver::proved_unsat() {
+  if (proof_ != nullptr && !proof_empty_emitted_) {
+    proof_->add({});
+    proof_empty_emitted_ = true;
+  }
+  return Status::kUnsat;
 }
 
 void Solver::add_formula(const Cnf& formula) {
@@ -660,6 +691,7 @@ bool Solver::vivify_one(ClauseRef cref) {
   vivify_active_ = false;
 
   if (satisfied_at_root) {
+    proof_delete(vivify_lits_);
     arena_.mark_garbage(cref);
     ++stats_.removed;
     return true;
@@ -672,13 +704,18 @@ bool Solver::vivify_one(ClauseRef cref) {
   }
   ++stats_.vivified_clauses;
   stats_.vivify_strengthened_lits += old_size - new_size;
+  // Proof order: add the strengthened clause first (it is RUP against a
+  // set still holding the original), then delete the original.
   if (new_size == 0) {
     // Every literal was root-false: the clause is empty at the root.
+    proof_delete(vivify_lits_);
     arena_.mark_garbage(cref);
     ok_ = false;
     return false;
   }
   if (new_size == 1) {
+    proof_add(kept);
+    proof_delete(vivify_lits_);
     arena_.mark_garbage(cref);
     if (value(kept[0]) == kFalse) {
       ok_ = false;
@@ -694,6 +731,8 @@ bool Solver::vivify_one(ClauseRef cref) {
   if (new_size == 2) {
     // Strengthened to a binary: binaries live inline in the watch lists
     // (permanent, no arena storage) — retire the arena clause.
+    proof_add(kept);
+    proof_delete(vivify_lits_);
     arena_.mark_garbage(cref);
     watches_[(!kept[0]).x].push_back({kClauseRefBinary, kept[1]});
     watches_[(!kept[1]).x].push_back({kClauseRefBinary, kept[0]});
@@ -701,6 +740,8 @@ bool Solver::vivify_one(ClauseRef cref) {
   }
   // >= 3 literals: rewrite and shrink in place — the ClauseRef stays valid,
   // so nothing outside the watch lists needs fixing up.
+  proof_add(kept);
+  proof_delete(vivify_lits_);
   std::span<Lit> lits = c.lits();
   for (std::size_t i = 0; i < new_size; ++i) lits[i] = kept[i];
   arena_.shrink(cref, static_cast<std::uint32_t>(new_size));
@@ -847,6 +888,9 @@ void Solver::reduce_db() {
   });
   const std::size_t to_remove = deletable.size() / 2;
   for (std::size_t i = 0; i < to_remove; ++i) {
+    // Proof deletion at mark time: the literals are intact until the next
+    // compaction, and advisory delete lines keep checker state small.
+    proof_delete(arena_[deletable[i]].lits());
     arena_.mark_garbage(deletable[i]);
     ++stats_.removed;
   }
@@ -897,6 +941,10 @@ void Solver::collect_garbage() {
 
 void Solver::connect_exchange(ClauseExchange* exchange, std::size_t worker_id,
                               SharingLimits sharing) {
+  CSAT_CHECK_MSG(exchange == nullptr || proof_ == nullptr,
+                 "proof emission and clause sharing are mutually exclusive "
+                 "(imported clauses are not RUP-derivable from this worker's "
+                 "run)");
   exchange_ = exchange;
   exchange_id_ = worker_id;
   sharing_ = sharing;
@@ -984,14 +1032,14 @@ bool Solver::import_clauses() {
 // --- main search -------------------------------------------------------------
 
 Status Solver::solve(const Limits& limits) {
-  if (!ok_) return Status::kUnsat;
+  if (!ok_) return proved_unsat();
   Stopwatch watch;
 
   if (!propagate().is_none()) {
     ok_ = false;
-    return Status::kUnsat;
+    return proved_unsat();
   }
-  if (!import_clauses()) return Status::kUnsat;
+  if (!import_clauses()) return proved_unsat();
 
   conflicts_at_restart_ = stats_.conflicts;
   luby_index_ = 0;
@@ -1012,7 +1060,7 @@ Status Solver::solve(const Limits& limits) {
       ++stats_.conflicts;
       if (decision_level() == 0) {
         ok_ = false;
-        return Status::kUnsat;
+        return proved_unsat();
       }
       if (config_.chrono && chrono_dirty_) {
         // With out-of-order assignments on the trail the conflict's true
@@ -1023,7 +1071,7 @@ Status Solver::solve(const Limits& limits) {
         const ConflictLevel cl = find_conflict_level(confl);
         if (cl.level == 0) {
           ok_ = false;
-          return Status::kUnsat;
+          return proved_unsat();
         }
         if (cl.at_level == 1 && cl.level < decision_level()) {
           // A missed lower-level propagation (possible only with
@@ -1060,6 +1108,7 @@ Status Solver::solve(const Limits& limits) {
       }
       backtrack(target);
       stats_.learnt_literals += learnt.size();
+      proof_add(learnt);  // first-UIP clause: RUP by construction
       if (learnt.size() == 1) {
         enqueue_at(learnt[0], Reason::none(), 0);
       } else {
@@ -1077,6 +1126,18 @@ Status Solver::solve(const Limits& limits) {
             stats_.conflicts + config_.reduce_first +
             config_.reduce_increment * reduce_count_;
       }
+      // Budget enforcement on the conflict path too: a conflict burst
+      // `continue`s here every iteration and would otherwise sail past the
+      // no-conflict-path check below for unboundedly long on hard UNSAT
+      // instances. Checking after the learnt clause is attached keeps the
+      // state resumable and bounds the overshoot to the conflict in hand.
+      if (stats_.conflicts >= limits.max_conflicts ||
+          stats_.decisions >= limits.max_decisions ||
+          (limits.max_seconds != std::numeric_limits<double>::infinity() &&
+           watch.seconds() > limits.max_seconds)) {
+        backtrack(0);
+        return Status::kUnknown;
+      }
       continue;
     }
 
@@ -1084,7 +1145,7 @@ Status Solver::solve(const Limits& limits) {
     // drain the exchange early instead of waiting for the next restart.
     if (decision_level() == 0 && sharing_.import_at_fixpoint &&
         has_pending_import()) {
-      if (!import_clauses()) return Status::kUnsat;
+      if (!import_clauses()) return proved_unsat();
       continue;  // imported clauses may propagate: find the new fixpoint
     }
 
@@ -1111,10 +1172,10 @@ Status Solver::solve(const Limits& limits) {
       }
       backtrack(reuse);
       if (reuse == 0) {
-        if (!import_clauses()) return Status::kUnsat;
+        if (!import_clauses()) return proved_unsat();
         if (vivify_due) {
           vivify_conflicts_at_ = stats_.conflicts;
-          if (!vivify_pass()) return Status::kUnsat;
+          if (!vivify_pass()) return proved_unsat();
         }
       } else {
         ++stats_.reused_trails;
@@ -1160,6 +1221,9 @@ Status Solver::solve(const Limits& limits) {
 
 Status Solver::solve_assuming(std::span<const Lit> assumptions,
                               const Limits& limits) {
+  CSAT_CHECK_MSG(proof_ == nullptr || assumptions.empty(),
+                 "proof emission covers plain solve() only: UNSAT under "
+                 "assumptions is not a refutation of the formula");
   assumptions_.assign(assumptions.begin(), assumptions.end());
   for (Lit l : assumptions_) CSAT_CHECK(l.var() < num_vars());
   const Status result = solve(limits);
@@ -1168,8 +1232,9 @@ Status Solver::solve_assuming(std::span<const Lit> assumptions,
 }
 
 SolveResult solve_cnf(const Cnf& formula, const SolverConfig& config,
-                      const Limits& limits) {
+                      const Limits& limits, ProofTracer* proof) {
   Solver solver(config);
+  if (proof != nullptr) solver.set_proof(proof);
   solver.add_formula(formula);
   SolveResult r;
   r.status = solver.solve(limits);

@@ -73,6 +73,8 @@
 
 namespace csat::sat {
 
+class ProofTracer;  // sat/proof.h
+
 using cnf::Cnf;
 using cnf::Lit;
 
@@ -298,6 +300,20 @@ class Solver {
   void connect_exchange(ClauseExchange* exchange, std::size_t worker_id,
                         SharingLimits sharing = {});
 
+  /// Attaches a DRAT proof sink (sat/proof.h) or detaches it (nullptr).
+  /// While attached, every learnt clause, vivification rewrite, learnt-DB
+  /// deletion and the final empty clause are emitted, so an UNSAT verdict
+  /// carries a certificate checkable against the added formula
+  /// (sat/drat_check.h). Must be called before any clause or variable is
+  /// added — the proof's premise set is exactly what add_formula() /
+  /// add_clause() receive afterwards. Mutually exclusive with
+  /// connect_exchange(): imported clauses are derived in *another*
+  /// worker's search and are not RUP-derivable here, so proof mode is
+  /// sequential-only (solve_portfolio() enforces the same rule). Also
+  /// mutually exclusive with solve_assuming(): an assumption-scoped UNSAT
+  /// is not a refutation of the formula.
+  void set_proof(ProofTracer* tracer);
+
   /// Drains foreign clauses from the connected exchange into the clause
   /// database (attached as learnt, deduplicated by clause hash, simplified
   /// against the level-0 assignment). Must be called at decision level 0;
@@ -478,6 +494,19 @@ class Solver {
   /// pressure window and moves export_lbd_ inside the configured band.
   void adapt_sharing(const ClauseExchange::DrainStats& drained);
 
+  // --- proof emission ---
+  void proof_add(std::span<const Lit> lits) {
+    if (proof_ != nullptr) emit_proof_add(lits);
+  }
+  void proof_delete(std::span<const Lit> lits) {
+    if (proof_ != nullptr) emit_proof_delete(lits);
+  }
+  void emit_proof_add(std::span<const Lit> lits);
+  void emit_proof_delete(std::span<const Lit> lits);
+  /// Shared epilogue of every UNSAT exit from solve(): emits the empty
+  /// clause (once) so the proof is a complete refutation.
+  Status proved_unsat();
+
   SolverConfig config_;
   Stats stats_;
   bool ok_ = true;
@@ -551,6 +580,11 @@ class Solver {
   std::unordered_set<std::uint64_t> shared_hashes_;
   std::vector<Lit> norm_scratch_;
 
+  /// DRAT sink (never owned); see set_proof(). proof_empty_emitted_ keeps
+  /// repeated UNSAT exits from duplicating the final empty clause.
+  ProofTracer* proof_ = nullptr;
+  bool proof_empty_emitted_ = false;
+
   std::uint64_t rng_state_;
   std::vector<bool> model_;
   std::vector<Lit> assumptions_;
@@ -562,8 +596,10 @@ struct SolveResult {
   Stats stats;
   std::vector<bool> model;
 };
+/// When \p proof is non-null it receives the solve's DRAT steps
+/// (set_proof() is called before the formula is added).
 SolveResult solve_cnf(const Cnf& formula, const SolverConfig& config = {},
-                      const Limits& limits = {});
+                      const Limits& limits = {}, ProofTracer* proof = nullptr);
 
 }  // namespace csat::sat
 

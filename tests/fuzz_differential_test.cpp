@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,9 @@
 #include "cnf/tseitin.h"
 #include "common/rng.h"
 #include "gen/suite.h"
+#include "sat/drat_check.h"
 #include "sat/portfolio.h"
+#include "sat/proof.h"
 #include "sat/solver.h"
 #include "test_formulas.h"
 
@@ -230,13 +233,23 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
     for (const Levers& lv : combos) {
       // The simplify lever runs the CNF preprocessor first and solves the
       // rewritten (possibly remapped) formula; models are reconstructed
-      // back onto the original variable space before checking.
+      // back onto the original variable space before checking. The
+      // sequential arm additionally traces a DRAT proof — simplifier steps
+      // in original-variable space, solver steps translated back through
+      // RemapTracer — and every UNSAT verdict must yield a refutation the
+      // checker validates against the ORIGINAL formula.
+      sat::ProofLog proof;
       cnf::SimplifyResult pre;
       const cnf::Cnf* target = &f;
       if (lv.simplify) {
-        pre = cnf::simplify(f);
+        cnf::SimplifyParams sp;
+        sp.proof = &proof;
+        pre = cnf::simplify(f, sp);
         if (pre.unsat) {
           EXPECT_EQ(baseline.status, sat::Status::kUnsat) << i;
+          const auto res = sat::check_drat(f, proof);
+          EXPECT_TRUE(res.valid && res.proved_unsat)
+              << i << " simplify-only refutation: " << res.error;
           continue;
         }
         target = &pre.cnf;
@@ -251,12 +264,24 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
       on.chrono_threshold = 2;
       on.vivify = lv.vivify;
       on.vivify_interval = 50;
-      const auto seq = sat::solve_cnf(*target, on);
+      std::optional<sat::RemapTracer> remap;
+      if (lv.simplify) remap.emplace(proof, pre.inverse_map);
+      sat::ProofTracer* tracer = remap ? static_cast<sat::ProofTracer*>(&*remap)
+                                       : &proof;
+      const auto seq = sat::solve_cnf(*target, on, {}, tracer);
       EXPECT_EQ(seq.status, baseline.status)
           << i << " chrono=" << lv.chrono << " vivify=" << lv.vivify
           << " simplify=" << lv.simplify;
       if (seq.status == sat::Status::kSat) {
         EXPECT_TRUE(check_model(f, lift(seq.model))) << i;
+      }
+      if (seq.status == sat::Status::kUnsat) {
+        const auto res = sat::check_drat(f, proof);
+        EXPECT_TRUE(res.valid) << i << " chrono=" << lv.chrono
+                               << " vivify=" << lv.vivify
+                               << " simplify=" << lv.simplify << ": "
+                               << res.error;
+        EXPECT_TRUE(res.proved_unsat) << i;
       }
       // Portfolio: diversified workers all with the lever set, plus the
       // sharing-side levers (fixpoint import, adaptive glue export).
@@ -280,6 +305,67 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
       }
     }
   }
+}
+
+TEST(FuzzDifferential, UnsatProofsValidateAcrossInstanceFamilies) {
+  // ~110 instances — random 3-SAT biased to the UNSAT side, pigeonhole,
+  // and Tseitin-encoded circuit miters — each solved sequentially with
+  // DRAT tracing, with the CNF preprocessor both off and on. Every UNSAT
+  // verdict must produce a proof the in-tree checker validates against the
+  // ORIGINAL formula; a single missing or misordered emission anywhere in
+  // the solver or the simplifier fails the sweep.
+  int proofs_checked = 0;
+  const auto check_one = [&](const cnf::Cnf& f, const std::string& tag) {
+    for (const bool simplify : {false, true}) {
+      sat::ProofLog proof;
+      sat::Status status = sat::Status::kUnsat;
+      if (simplify) {
+        cnf::SimplifyParams sp;
+        sp.proof = &proof;
+        const auto pre = cnf::simplify(f, sp);
+        if (!pre.unsat) {
+          sat::RemapTracer remap(proof, pre.inverse_map);
+          status = sat::solve_cnf(pre.cnf, sat::SolverConfig::kissat_like(),
+                                  {}, &remap)
+                       .status;
+        }
+      } else {
+        status =
+            sat::solve_cnf(f, sat::SolverConfig::kissat_like(), {}, &proof)
+                .status;
+      }
+      if (status != sat::Status::kUnsat) continue;
+      const auto res = sat::check_drat(f, proof);
+      EXPECT_TRUE(res.valid) << tag << " simplify=" << simplify << ": "
+                             << res.error;
+      EXPECT_TRUE(res.proved_unsat) << tag << " simplify=" << simplify;
+      ++proofs_checked;
+    }
+  };
+
+  Rng rng(0xD8A7F00);
+  for (int i = 0; i < 80; ++i) {
+    const int vars = 15 + static_cast<int>(rng.next_below(36));
+    const double ratio = 4.0 + 0.01 * static_cast<double>(rng.next_below(161));
+    check_one(random_3sat(vars, static_cast<int>(vars * ratio), rng.next_u64()),
+              "proofs/random3sat[" + std::to_string(i) + "]");
+  }
+  for (int holes = 3; holes <= 6; ++holes) {
+    check_one(pigeonhole(holes),
+              "proofs/pigeonhole(" + std::to_string(holes) + ")");
+  }
+  gen::SuiteParams params;
+  params.count = 24;
+  params.seed = 20260808;
+  params.multiplier = {3, 4, 0.30};
+  for (const auto& inst : gen::make_suite(params)) {
+    const auto enc = cnf::tseitin_encode(inst.circuit);
+    if (enc.trivially_sat) continue;
+    check_one(enc.cnf, "proofs/" + inst.name);
+  }
+  // Both preprocessor arms run per instance, so a healthy majority of the
+  // sweep must end in a checked refutation or the sweep is vacuous.
+  EXPECT_GT(proofs_checked, 80);
 }
 
 TEST(FuzzDifferential, SharingUnderTinyRingAndAggressiveFilters) {

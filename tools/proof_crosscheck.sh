@@ -1,0 +1,54 @@
+#!/bin/sh
+# Optional drat-trim cross-check of an emitted DRAT proof.
+#
+# Usage: tools/proof_crosscheck.sh <build-dir>
+#
+# Generates a pigeonhole DIMACS instance (5 pigeons, 4 holes — UNSAT),
+# asks the solve server to refute it with `proof=`, and hands the
+# original formula plus the emitted proof to drat-trim. The in-tree
+# checker (src/sat/drat_check.h) already validates proofs in the test
+# suite; this script is a second opinion from the reference tool and is
+# a NO-OP (exit 0, with a notice) when drat-trim is not on the PATH —
+# it must never become a hard CI dependency.
+set -eu
+
+build_dir=${1:-build}
+server="$build_dir/examples/solve_server"
+
+if ! command -v drat-trim >/dev/null 2>&1; then
+  echo "proof_crosscheck: drat-trim not on PATH, skipping (in-tree checker still ran in ctest)"
+  exit 0
+fi
+if [ ! -x "$server" ]; then
+  echo "proof_crosscheck: $server not built" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cnf="$tmpdir/php.cnf"
+proof="$tmpdir/php.drat"
+
+# Pigeonhole PHP(5,4): variable (p-1)*4+h means "pigeon p sits in hole h".
+awk 'BEGIN {
+  pigeons = 5; holes = 4;
+  printf "p cnf %d %d\n", pigeons * holes, pigeons + holes * pigeons * (pigeons - 1) / 2;
+  for (p = 0; p < pigeons; ++p) {            # every pigeon sits somewhere
+    for (h = 0; h < holes; ++h) printf "%d ", p * holes + h + 1;
+    print "0";
+  }
+  for (h = 0; h < holes; ++h)                # no hole holds two pigeons
+    for (p = 0; p < pigeons; ++p)
+      for (q = p + 1; q < pigeons; ++q)
+        printf "%d %d 0\n", -(p * holes + h + 1), -(q * holes + h + 1);
+}' > "$cnf"
+
+printf 'solve id=php expect=unsat proof=%s dimacs=%s\nquit\n' "$proof" "$cnf" |
+  "$server" --workers=1 --strict > "$tmpdir/response.json"
+grep -q '"status":"UNSAT"' "$tmpdir/response.json"
+grep -q '"complete":true' "$tmpdir/response.json"
+
+# drat-trim prints "s VERIFIED" and exits 0 on a valid refutation.
+drat-trim "$cnf" "$proof" | tee "$tmpdir/drat-trim.log"
+grep -q '^s VERIFIED' "$tmpdir/drat-trim.log"
+echo "proof_crosscheck: drat-trim verified the server-emitted proof"
