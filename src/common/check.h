@@ -42,4 +42,17 @@ namespace csat {
   } while (false)
 #endif
 
+/// Software prefetch hint (read, moderate temporal locality). A no-op on
+/// toolchains without __builtin_prefetch; the address expression is still
+/// evaluated, so only pass pointers that are cheap to form (it is never
+/// dereferenced — out-of-range addresses are safe).
+#if defined(__GNUC__) || defined(__clang__)
+#define CSAT_PREFETCH(addr) __builtin_prefetch((addr), 0, 2)
+#else
+#define CSAT_PREFETCH(addr) \
+  do {                      \
+    (void)(addr);           \
+  } while (false)
+#endif
+
 #endif  // CSAT_COMMON_CHECK_H

@@ -270,6 +270,11 @@ std::string ServerResponse::to_json() const {
   out += ",\"vivified_clauses\":" + std::to_string(stats.vivified_clauses);
   out += ",\"vivify_strengthened_lits\":" +
          std::to_string(stats.vivify_strengthened_lits);
+  // Propagation-engine counters (PR 8): binary-first BCP volume and the
+  // watcher arena's relocation/footprint telemetry per served solve.
+  out += ",\"binary_props\":" + std::to_string(stats.binary_props);
+  out += ",\"watcher_relocations\":" + std::to_string(stats.watcher_relocations);
+  out += ",\"watch_bytes\":" + std::to_string(stats.watch_bytes);
   // CNF preprocessing report (PR 6): what the backend actually solved.
   // "vars"/"clauses" above always describe the original formula (which is
   // also what the cache key hashes), so this block is pure diagnostics.

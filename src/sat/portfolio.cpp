@@ -150,6 +150,10 @@ PortfolioResult solve_portfolio(const Cnf& formula,
   for (const WorkerOutcome& w : result.workers) {
     result.clauses_exported += w.stats.exported;
     result.clauses_imported += w.stats.imported;
+    result.total_propagations += w.stats.propagations;
+    result.total_binary_props += w.stats.binary_props;
+    result.total_watcher_relocations += w.stats.watcher_relocations;
+    result.total_watch_bytes += w.stats.watch_bytes;
   }
   if (win == PortfolioResult::kNoWinner) {
     // Budget exhausted with no verdict: report the lead worker's stats so

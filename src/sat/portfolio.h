@@ -127,6 +127,13 @@ struct PortfolioResult {
   /// Totals over all workers (zero when sharing was disabled).
   std::uint64_t clauses_exported = 0;
   std::uint64_t clauses_imported = 0;
+  /// Search-effort totals over all workers, winners and losers alike —
+  /// aggregate BCP throughput of the race is total_propagations / seconds.
+  std::uint64_t total_propagations = 0;
+  std::uint64_t total_binary_props = 0;
+  std::uint64_t total_watcher_relocations = 0;
+  /// Summed watch-storage footprint gauges at each worker's exit.
+  std::uint64_t total_watch_bytes = 0;
   double seconds = 0.0;  ///< wall-clock time of the whole race
 };
 

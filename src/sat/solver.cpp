@@ -57,9 +57,13 @@ std::uint32_t Solver::new_var() {
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(0);
-  // After reset() the watch-list vector keeps its high-water size (with
-  // every list emptied) so re-adding variables reuses the lists' buffers.
-  if (watches_.size() < 2 * (static_cast<std::size_t>(v) + 1)) {
+  // After reset() the watch storage keeps its high-water size (with every
+  // list emptied) so re-adding variables reuses the grown buffers. Only the
+  // active engine's containers are touched — the other stays empty.
+  if (config_.flat_watch) {
+    watch_flat_.ensure_lists(2 * (static_cast<std::size_t>(v) + 1));
+    bin_watch_.ensure_lists(2 * (static_cast<std::size_t>(v) + 1));
+  } else if (watches_.size() < 2 * (static_cast<std::size_t>(v) + 1)) {
     watches_.emplace_back();
     watches_.emplace_back();
   }
@@ -76,6 +80,8 @@ void Solver::reset() {
   // next formula's variable count stay empty and are skipped by the
   // full-database sweeps, while new_var() reuses the inner lists' buffers.
   for (auto& ws : watches_) ws.clear();
+  watch_flat_.clear();
+  bin_watch_.clear();
   value_.clear();
   phase_.clear();
   level_.clear();
@@ -83,6 +89,7 @@ void Solver::reset() {
   trail_.clear();
   trail_lim_.clear();
   qhead_ = 0;
+  bin_qhead_ = 0;
   activity_.clear();
   var_inc_ = 1.0;
   clause_inc_ = 1.0;
@@ -149,9 +156,42 @@ Status Solver::proved_unsat() {
 
 void Solver::add_formula(const Cnf& formula) {
   while (num_vars() < formula.num_vars()) new_var();
+  reserve_watches(formula);
   for (std::size_t i = 0; i < formula.num_clauses(); ++i) {
     if (!add_clause(formula.clause(i))) return;  // already UNSAT; keep ok_ false
   }
+}
+
+void Solver::reserve_watches(const Cnf& formula) {
+  if (!config_.flat_watch) return;
+  if (watch_flat_.total_slots() != 0 || bin_watch_.total_slots() != 0) return;
+  const std::size_t nlits = 2 * static_cast<std::size_t>(num_vars());
+  std::vector<std::uint32_t> longs(nlits, 0);
+  std::vector<std::uint32_t> bins(nlits, 0);
+  for (std::size_t i = 0; i < formula.num_clauses(); ++i) {
+    const auto c = formula.clause(i);
+    if (c.size() < 2) continue;
+    // The two smallest distinct literals are the ones attach_clause() will
+    // watch after normalize_at_root() sorts the clause. Clauses that
+    // normalization shrinks or drops make this histogram an overestimate,
+    // which only leaves slack capacity — never a relocation.
+    Lit lo = kLitUndef;
+    Lit hi = kLitUndef;
+    for (const Lit l : c) {
+      if (lo == kLitUndef || l < lo) {
+        if (lo != kLitUndef && lo != l) hi = lo;
+        lo = l;
+      } else if (l != lo && (hi == kLitUndef || l < hi)) {
+        hi = l;
+      }
+    }
+    if (hi == kLitUndef) continue;  // all duplicates: a unit after dedup
+    auto& table = c.size() == 2 ? bins : longs;
+    ++table[(!lo).x];
+    ++table[(!hi).x];
+  }
+  watch_flat_.reserve_lists(longs);
+  bin_watch_.reserve_lists(bins);
 }
 
 Solver::RootNorm Solver::normalize_at_root(std::span<const Lit> lits,
@@ -215,11 +255,10 @@ Solver::Reason Solver::attach_clause(std::span<const Lit> lits, bool learnt,
   CSAT_DCHECK(lits.size() >= 2);
   if (learnt) ++stats_.learned;
   if (lits.size() == 2) {
-    // Inline binary clause: the other literal is the watcher; no arena
-    // storage, so the clause can never be garbage-collected (matching the
-    // old rule that clauses of <= 2 literals are never deleted).
-    watches_[(!lits[0]).x].push_back({kClauseRefBinary, lits[1]});
-    watches_[(!lits[1]).x].push_back({kClauseRefBinary, lits[0]});
+    // Binary clause: no arena storage, so the clause can never be
+    // garbage-collected (matching the old rule that clauses of <= 2
+    // literals are never deleted).
+    attach_binary(lits[0], lits[1]);
     return Reason::binary(lits[1]);
   }
   const ClauseRef cref = arena_.alloc(lits, learnt, lbd);
@@ -231,9 +270,51 @@ Solver::Reason Solver::attach_clause(std::span<const Lit> lits, bool learnt,
     if (lbd <= config_.glue_keep) c.set_protect();
     learnt_refs_.push_back(cref);
   }
-  watches_[(!lits[0]).x].push_back({cref, lits[1]});
-  watches_[(!lits[1]).x].push_back({cref, lits[0]});
+  watch_push(!lits[0], {cref, lits[1]});
+  watch_push(!lits[1], {cref, lits[0]});
   return Reason::clause(cref);
+}
+
+void Solver::watch_push(Lit key, Watcher w) {
+  if (config_.flat_watch) {
+    watch_flat_.push(key.x, w);
+  } else {
+    watches_[key.x].push_back(w);
+  }
+}
+
+void Solver::watch_remove(Lit key, ClauseRef cref) {
+  // Order-preserving removal in both engines: watch-list order is part of
+  // solver determinism (same formula + config + seed => same search).
+  if (config_.flat_watch) {
+    const auto ws = watch_flat_[key.x];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        for (std::size_t m = i + 1; m < ws.size(); ++m) ws[m - 1] = ws[m];
+        watch_flat_.set_size(key.x, static_cast<std::uint32_t>(ws.size() - 1));
+        return;
+      }
+    }
+  } else {
+    auto& ws = watches_[key.x];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        ws.erase(ws.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  CSAT_DCHECK(false);  // the clause was not watched on !key
+}
+
+void Solver::attach_binary(Lit a, Lit b) {
+  if (config_.flat_watch) {
+    bin_watch_.push((!a).x, b);
+    bin_watch_.push((!b).x, a);
+  } else {
+    watches_[(!a).x].push_back({kClauseRefBinary, b});
+    watches_[(!b).x].push_back({kClauseRefBinary, a});
+  }
 }
 
 void Solver::enqueue_at(Lit l, Reason reason, std::uint32_t lev) {
@@ -248,6 +329,106 @@ void Solver::enqueue_at(Lit l, Reason reason, std::uint32_t lev) {
 }
 
 Solver::Conflict Solver::propagate() {
+  return config_.flat_watch ? propagate_flat() : propagate_nested();
+}
+
+Solver::Conflict Solver::propagate_flat() {
+  Conflict confl;
+  for (;;) {
+    // Binary clauses first, to fixpoint: each list entry *is* the implied
+    // literal, so the whole pass runs on dense Lit slabs with no arena
+    // access — and any binary conflict surfaces before a single long
+    // clause is inspected.
+    while (bin_qhead_ < trail_.size()) {
+      const Lit p = trail_[bin_qhead_++];
+      // Counted at the *leading* queue head, where this literal's
+      // propagation starts — the same "dequeued for processing" semantics
+      // the nested engine (and every budget derived from the counter) uses.
+      ++stats_.propagations;
+      const FlatLists<Lit>::Head bh = bin_watch_.head(p.x);
+      const Lit* bl = bin_watch_.data() + bh.offset;
+      for (std::uint32_t k = 0; k < bh.size; ++k) {
+        const Lit other = bl[k];
+        const std::uint8_t v = value(other);
+        if (v == kTrue) continue;
+        if (v == kFalse) {
+          bin_qhead_ = trail_.size();
+          qhead_ = trail_.size();
+          return {kClauseRefBinary, other, !p};
+        }
+        ++stats_.binary_props;
+        enqueue(other, Reason::binary(!p));
+      }
+    }
+    if (qhead_ >= trail_.size()) break;
+
+    const Lit p = trail_[qhead_++];  // p is now true (counted at bin_qhead_)
+    // The next literal's watcher slab is the guaranteed next read: get its
+    // first line in flight while this literal is processed.
+    if (qhead_ < trail_.size())
+      CSAT_PREFETCH(watch_flat_.data() + watch_flat_.head(trail_[qhead_].x).offset);
+    const Lit not_p = !p;
+    // Cache offset/size and re-derive the base pointer after any push:
+    // migrating a watcher to another list can reallocate the arena buffer,
+    // but never moves *this* list's slab (the new watch literal is distinct
+    // from !p, which sits in watch position 1 by then).
+    const std::uint32_t off = watch_flat_.head(p.x).offset;
+    const std::uint32_t n = watch_flat_.head(p.x).size;
+    Watcher* ws = watch_flat_.data() + off;
+    std::uint32_t keep = 0;
+    std::uint32_t i = 0;
+    for (; i < n; ++i) {
+      const Watcher w = ws[i];
+      const std::uint8_t bval = value(w.blocker);
+      if (bval == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      // Deliberately no prefetch of the next watcher's clause header here:
+      // most visits end at the blocker test above without touching clause
+      // memory, and prefetching every header defeats that (measured -10-20%
+      // on the adder/pigeonhole families).
+      ClauseArena::Clause c = arena_[w.cref];
+      // Normalize so the false literal (~p) sits at position 1.
+      if (c[0] == not_p) std::swap(c[0], c[1]);
+      CSAT_DCHECK(c[1] == not_p);
+      const Lit first = c[0];
+      if (first != w.blocker && value(first) == kTrue) {
+        ws[keep++] = {w.cref, first};
+        continue;
+      }
+      // Search for a replacement watch.
+      bool moved = false;
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watch_flat_.push((!c[1]).x, {w.cref, first});
+          ws = watch_flat_.data() + off;  // push may reallocate the buffer
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watcher migrated; drop from this list
+      // Clause is unit or conflicting.
+      ws[keep++] = {w.cref, first};
+      if (value(first) == kFalse) {
+        confl.cref = w.cref;
+        qhead_ = trail_.size();
+        bin_qhead_ = trail_.size();
+        // Preserve the remaining watchers before aborting the scan.
+        for (++i; i < n; ++i) ws[keep++] = ws[i];
+        break;
+      }
+      enqueue(first, Reason::clause(w.cref));
+    }
+    watch_flat_.set_size(p.x, keep);
+    if (!confl.is_none()) break;
+  }
+  return confl;
+}
+
+Solver::Conflict Solver::propagate_nested() {
   Conflict confl;
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p is now true
@@ -338,6 +519,7 @@ void Solver::backtrack(std::uint32_t target) {
   trail_.resize(keep);
   trail_lim_.resize(target);
   qhead_ = limit;
+  bin_qhead_ = limit;
   // At level 0 every surviving literal is a root assignment: the trail is
   // in order again and the conflict-level scan can stand down until the
   // next out-of-order enqueue.
@@ -555,27 +737,14 @@ void Solver::make_watched_first(ClauseRef cref, Lit l) {
     }
   }
   CSAT_DCHECK(c[0] == l);
-  auto& ws = watches_[(!old0).x];
-  for (std::size_t i = 0; i < ws.size(); ++i) {
-    if (ws[i].cref == cref) {
-      ws.erase(ws.begin() + static_cast<std::ptrdiff_t>(i));
-      break;
-    }
-  }
-  watches_[(!l).x].push_back({cref, c[1]});
+  watch_remove(!old0, cref);
+  watch_push(!l, {cref, c[1]});
 }
 
 void Solver::detach_clause(ClauseRef cref) {
   ClauseArena::Clause c = arena_[cref];
-  for (int w = 0; w < 2; ++w) {
-    auto& ws = watches_[(!c[static_cast<std::uint32_t>(w)]).x];
-    for (std::size_t i = 0; i < ws.size(); ++i) {
-      if (ws[i].cref == cref) {
-        ws.erase(ws.begin() + static_cast<std::ptrdiff_t>(i));
-        break;
-      }
-    }
-  }
+  watch_remove(!c[0], cref);
+  watch_remove(!c[1], cref);
 }
 
 bool Solver::reason_locked(ClauseRef cref) {
@@ -698,8 +867,8 @@ bool Solver::vivify_one(ClauseRef cref) {
   }
   const std::size_t new_size = kept.size();
   if (new_size == old_size) {  // nothing strengthened: reattach unchanged
-    watches_[(!vivify_lits_[0]).x].push_back({cref, vivify_lits_[1]});
-    watches_[(!vivify_lits_[1]).x].push_back({cref, vivify_lits_[0]});
+    watch_push(!vivify_lits_[0], {cref, vivify_lits_[1]});
+    watch_push(!vivify_lits_[1], {cref, vivify_lits_[0]});
     return true;
   }
   ++stats_.vivified_clauses;
@@ -729,13 +898,12 @@ bool Solver::vivify_one(ClauseRef cref) {
     return true;
   }
   if (new_size == 2) {
-    // Strengthened to a binary: binaries live inline in the watch lists
-    // (permanent, no arena storage) — retire the arena clause.
+    // Strengthened to a binary: binaries have no arena storage (permanent,
+    // never garbage-collected) — retire the arena clause.
     proof_add(kept);
     proof_delete(vivify_lits_);
     arena_.mark_garbage(cref);
-    watches_[(!kept[0]).x].push_back({kClauseRefBinary, kept[1]});
-    watches_[(!kept[1]).x].push_back({kClauseRefBinary, kept[0]});
+    attach_binary(kept[0], kept[1]);
     return true;
   }
   // >= 3 literals: rewrite and shrink in place — the ClauseRef stays valid,
@@ -749,8 +917,8 @@ bool Solver::vivify_one(ClauseRef cref) {
       std::min(c.lbd(), static_cast<std::uint32_t>(new_size));
   c.set_lbd(new_lbd);
   if (learnt && new_lbd <= config_.glue_keep) c.set_protect();
-  watches_[(!kept[0]).x].push_back({cref, kept[1]});
-  watches_[(!kept[1]).x].push_back({cref, kept[0]});
+  watch_push(!kept[0], {cref, kept[1]});
+  watch_push(!kept[1], {cref, kept[0]});
   return true;
 }
 
@@ -905,12 +1073,37 @@ void Solver::reduce_db() {
       arena_.garbage_words() * 4 >= arena_.size_words()) {
     collect_garbage();
   }
+  // The watcher arena defragments on the clause-DB GC cadence with the same
+  // quarter-dead trigger: slabs abandoned by growth relocation are the
+  // watcher-side analogue of garbage clause words.
+  if (config_.flat_watch) {
+    if (watch_flat_.dead_slots() * 4 >= watch_flat_.total_slots() &&
+        watch_flat_.dead_slots() > 0) {
+      watch_flat_.compact();
+    }
+    if (bin_watch_.dead_slots() * 4 >= bin_watch_.total_slots() &&
+        bin_watch_.dead_slots() > 0) {
+      bin_watch_.compact();
+    }
+  }
 }
 
 void Solver::purge_garbage_watchers() {
   // Single sweep over every watch list instead of per-clause detach: a
   // reduction round deletes thousands of clauses, so one O(watchers) pass
   // beats O(deleted * list length) searches.
+  if (config_.flat_watch) {
+    // Binary lists never hold crefs; only the long-clause lists are swept.
+    const std::size_t n = watch_flat_.num_lists();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto ws = watch_flat_[i];
+      std::uint32_t keep = 0;
+      for (const Watcher& w : ws)
+        if (!arena_[w.cref].garbage()) ws[keep++] = w;
+      watch_flat_.set_size(i, keep);
+    }
+    return;
+  }
   for (auto& ws : watches_) {
     std::size_t keep = 0;
     for (const Watcher& w : ws)
@@ -924,11 +1117,19 @@ void Solver::collect_garbage() {
   ++stats_.arena_gcs;
   arena_.compact();
   // Remap every surviving reference through the forwarding addresses the
-  // compaction left behind. Inline binaries carry no reference. Reasons
-  // are only meaningful for assigned variables, i.e. exactly the trail.
-  for (auto& ws : watches_)
-    for (Watcher& w : ws)
-      if (w.cref != kClauseRefBinary) w.cref = arena_.forwarded(w.cref);
+  // compaction left behind. Binaries carry no reference. Reasons are only
+  // meaningful for assigned variables, i.e. exactly the trail. In flat mode
+  // the sweep walks each list's live span — dead slabs hold stale crefs for
+  // which forwarding is undefined.
+  if (config_.flat_watch) {
+    const std::size_t n = watch_flat_.num_lists();
+    for (std::size_t i = 0; i < n; ++i)
+      for (Watcher& w : watch_flat_[i]) w.cref = arena_.forwarded(w.cref);
+  } else {
+    for (auto& ws : watches_)
+      for (Watcher& w : ws)
+        if (w.cref != kClauseRefBinary) w.cref = arena_.forwarded(w.cref);
+  }
   for (const Lit l : trail_) {
     Reason& r = reason_[l.var()];
     if (r.is_clause()) r.cref = arena_.forwarded(r.cref);
@@ -1032,6 +1233,22 @@ bool Solver::import_clauses() {
 // --- main search -------------------------------------------------------------
 
 Status Solver::solve(const Limits& limits) {
+  const Status status = search(limits);
+  // Storage gauges are refreshed once per solve, not in the hot loop.
+  stats_.watch_bytes = watch_bytes_now();
+  stats_.watcher_relocations =
+      watch_flat_.relocations() + bin_watch_.relocations();
+  return status;
+}
+
+std::uint64_t Solver::watch_bytes_now() const {
+  if (config_.flat_watch) return watch_flat_.bytes() + bin_watch_.bytes();
+  std::uint64_t total = watches_.capacity() * sizeof(std::vector<Watcher>);
+  for (const auto& ws : watches_) total += ws.capacity() * sizeof(Watcher);
+  return total;
+}
+
+Status Solver::search(const Limits& limits) {
   if (!ok_) return proved_unsat();
   Stopwatch watch;
 
@@ -1217,6 +1434,87 @@ Status Solver::solve(const Limits& limits) {
         std::max<std::uint64_t>(stats_.max_decision_level, decision_level());
     enqueue(next, Reason::none());
   }
+}
+
+bool Solver::check_watches() {
+  bool ok = true;
+  const auto fail = [&ok](const char* what, std::uint64_t a, std::uint64_t b) {
+    std::fprintf(stderr, "check_watches: %s (%llu, %llu)\n", what,
+                 static_cast<unsigned long long>(a),
+                 static_cast<unsigned long long>(b));
+    ok = false;
+  };
+  const std::size_t nlists = 2 * static_cast<std::size_t>(num_vars());
+
+  // Long-clause watchers: per-cref hit counts for each watch slot, plus
+  // per-entry sanity (live in-range clause, list literal negates one of the
+  // first two clause literals, blocker is a clause literal).
+  std::vector<std::uint8_t> slot0(arena_.size_words(), 0);
+  std::vector<std::uint8_t> slot1(arena_.size_words(), 0);
+  const auto check_long = [&](std::size_t list, const Watcher& w) {
+    if (w.cref >= arena_.size_words()) {
+      fail("watcher cref out of range", list, w.cref);
+      return;
+    }
+    ClauseArena::Clause c = arena_[w.cref];
+    if (c.garbage()) {
+      fail("watcher references garbage clause", list, w.cref);
+      return;
+    }
+    const Lit not_p = !Lit(static_cast<std::uint32_t>(list));
+    if (c[0] == not_p) {
+      if (++slot0[w.cref] > 1) fail("clause watched twice on lit 0", list, w.cref);
+    } else if (c[1] == not_p) {
+      if (++slot1[w.cref] > 1) fail("clause watched twice on lit 1", list, w.cref);
+    } else {
+      fail("list literal is not a watch of the clause", list, w.cref);
+    }
+    bool blocker_in_clause = false;
+    for (const Lit l : c.lits()) blocker_in_clause |= l == w.blocker;
+    if (!blocker_in_clause) fail("blocker not a clause literal", list, w.cref);
+  };
+
+  // Binary clauses: every entry {list p, implied other} is clause
+  // {!p, other} and must appear mirrored in (!other)'s list. Collect each
+  // direction keyed by the canonical (sorted) literal pair; symmetric
+  // multisets <=> every clause is attached in both directions.
+  std::vector<std::uint64_t> bin_fwd;
+  std::vector<std::uint64_t> bin_rev;
+  const auto check_binary = [&](std::size_t list, Lit other) {
+    const Lit a = !Lit(static_cast<std::uint32_t>(list));
+    const std::uint64_t key = a.x < other.x
+                                  ? (static_cast<std::uint64_t>(a.x) << 32) | other.x
+                                  : (static_cast<std::uint64_t>(other.x) << 32) | a.x;
+    (a.x < other.x ? bin_fwd : bin_rev).push_back(key);
+  };
+
+  if (config_.flat_watch) {
+    for (std::size_t i = 0; i < watch_flat_.num_lists() && i < nlists; ++i)
+      for (const Watcher& w : watch_flat_[i]) check_long(i, w);
+    for (std::size_t i = 0; i < bin_watch_.num_lists() && i < nlists; ++i)
+      for (const Lit other : bin_watch_[i]) check_binary(i, other);
+  } else {
+    for (std::size_t i = 0; i < watches_.size() && i < nlists; ++i) {
+      for (const Watcher& w : watches_[i]) {
+        if (w.cref == kClauseRefBinary)
+          check_binary(i, w.blocker);
+        else
+          check_long(i, w);
+      }
+    }
+  }
+
+  arena_.for_each_clause([&](ClauseRef cref) {
+    if (slot0[cref] != 1 || slot1[cref] != 1)
+      fail("live clause not watched exactly twice", slot0[cref] + slot1[cref],
+           cref);
+  });
+  std::sort(bin_fwd.begin(), bin_fwd.end());
+  std::sort(bin_rev.begin(), bin_rev.end());
+  if (bin_fwd != bin_rev)
+    fail("binary lists are not mirror-symmetric", bin_fwd.size(),
+         bin_rev.size());
+  return ok;
 }
 
 Status Solver::solve_assuming(std::span<const Lit> assumptions,

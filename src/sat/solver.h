@@ -70,6 +70,7 @@
 #include "cnf/cnf.h"
 #include "sat/arena.h"
 #include "sat/clause_exchange.h"
+#include "sat/watch.h"
 
 namespace csat::sat {
 
@@ -148,6 +149,17 @@ struct SolverConfig {
   /// reshuffles deletion order for no measured net win (see ROADMAP).
   bool dynamic_lbd = false;
 
+  /// --- propagation engine ---
+  /// Flat watcher engine (the default): long-clause watchers live in one
+  /// contiguous per-literal slab arena (sat/watch.h) and binary clauses in
+  /// dense single-literal lists propagated to fixpoint before any long
+  /// clause, with software prefetching of the upcoming watcher slab and
+  /// clause header. Off selects the nested vector<vector<Watcher>> fallback
+  /// engine (binaries inlined in the shared lists), kept measurable for A/B
+  /// runs (`sat_micro --flat-watch=off`). Fixed at construction: the two
+  /// engines keep disjoint storage and reset() preserves the choice.
+  bool flat_watch = true;
+
   /// Stand-in for Kissat 4.0: aggressive EMA restarts, fast variable decay.
   static SolverConfig kissat_like() {
     SolverConfig c;
@@ -206,6 +218,16 @@ struct Stats {
   /// drained them (the publisher is unknowable once the slot is reused, so
   /// this includes the worker's own exports).
   std::uint64_t import_lost = 0;
+  /// Literals enqueued by the dedicated binary-clause pass (flat engine
+  /// only; the nested fallback folds these into `propagations`).
+  std::uint64_t binary_props = 0;
+  /// Watcher slab moves paid to grow a full per-literal list (flat engine;
+  /// zero on the first descent when the occurrence-histogram reservation
+  /// sized every list right).
+  std::uint64_t watcher_relocations = 0;
+  /// Heap footprint of the watch lists in bytes — a gauge refreshed at
+  /// every solve() exit, not a monotonic counter.
+  std::uint64_t watch_bytes = 0;
 };
 
 /// Per-worker clause-sharing filter: only learnt clauses at most this glue
@@ -332,6 +354,16 @@ class Solver {
   /// The configuration this solver was constructed with (immutable).
   [[nodiscard]] const SolverConfig& config() const { return config_; }
 
+  /// Debug walker (tests only; O(database)): verifies the watch invariants
+  /// of whichever engine is active — every live arena clause is watched
+  /// exactly once on each of its first two literals, every watcher
+  /// references a live in-range clause and carries a blocker that is a
+  /// literal of that clause, and the binary lists are mirror-symmetric
+  /// (clause {a,b} appears in both (!a)'s and (!b)'s list). Returns false
+  /// (with a stderr note) on the first violation. Call between solve()
+  /// calls, not mid-propagation.
+  [[nodiscard]] bool check_watches();
+
  private:
   enum : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
 
@@ -385,7 +417,13 @@ class Solver {
   /// at their true asserting level).
   void enqueue_at(Lit l, Reason reason, std::uint32_t lev);
   void enqueue(Lit l, Reason reason) { enqueue_at(l, reason, decision_level()); }
+  /// Dispatches on config_.flat_watch to one of the two engines below.
   Conflict propagate();
+  /// Flat engine: binary lists to fixpoint first, then one long-clause
+  /// literal over the watcher arena (prefetching ahead), and back.
+  Conflict propagate_flat();
+  /// Fallback engine over the nested watch lists, binaries inlined.
+  Conflict propagate_nested();
   /// Unassigns every literal with level > \p level. Literals assigned
   /// out-of-order below that (chrono) survive: they are compacted to the
   /// start of the open segment and re-queued for propagation, which repairs
@@ -452,6 +490,21 @@ class Solver {
   /// temporarily detaches the clause it re-propagates so it cannot act as
   /// its own reason); watch-list order is preserved for determinism.
   void detach_clause(ClauseRef cref);
+  /// Engine-dispatching watch-list primitives: \p key is the list literal
+  /// (the *negation* of the watched clause literal).
+  void watch_push(Lit key, Watcher w);
+  void watch_remove(Lit key, ClauseRef cref);
+  /// Attaches binary clause {a, b} in both directions (dense lists in flat
+  /// mode, kClauseRefBinary-tagged watchers in the nested fallback).
+  void attach_binary(Lit a, Lit b);
+  /// Flat mode: lays the watch headers out from \p formula's
+  /// literal-occurrence histogram (two smallest literals of each clause —
+  /// normalize_at_root() sorts, so those are the ones attach_clause() will
+  /// watch) so the initial attach and first descent pay no slab relocation.
+  /// No-op once any list holds data or in nested mode.
+  void reserve_watches(const Cnf& formula);
+  /// Current heap footprint of the active engine's watch storage.
+  [[nodiscard]] std::uint64_t watch_bytes_now() const;
   /// Moves \p l into watch position 0 of an arena clause, fixing up the
   /// watch lists when \p l was unwatched. Used by the chrono forced path,
   /// which turns the conflict clause into the reason of its single
@@ -507,13 +560,25 @@ class Solver {
   /// clause (once) so the proof is a complete refutation.
   Status proved_unsat();
 
+  /// The CDCL loop behind solve(), which wraps it only to refresh the
+  /// watch-storage gauges (Stats::watch_bytes / watcher_relocations).
+  Status search(const Limits& limits);
+
   SolverConfig config_;
   Stats stats_;
   bool ok_ = true;
 
   ClauseArena arena_;                  // all clauses of >= 3 literals
   std::vector<ClauseRef> learnt_refs_;  // learnt arena subset for reduction
-  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit.x
+  /// Watch storage, by engine (config_.flat_watch; the inactive engine's
+  /// containers stay empty). Flat: long-clause watchers in a contiguous
+  /// per-literal slab arena plus binary clauses as bare implied literals in
+  /// their own dense lists. Nested: the historical vector-of-vectors with
+  /// binaries inlined as kClauseRefBinary-tagged watchers. All indexed by
+  /// Lit.x of the falsified literal.
+  FlatLists<Watcher> watch_flat_;
+  FlatLists<Lit> bin_watch_;
+  std::vector<std::vector<Watcher>> watches_;
 
   std::vector<std::uint8_t> value_;    // per literal (indexed by Lit.x)
   std::vector<std::uint8_t> phase_;    // saved polarity per var
@@ -522,6 +587,10 @@ class Solver {
   std::vector<Lit> trail_;
   std::vector<std::uint32_t> trail_lim_;
   std::size_t qhead_ = 0;
+  /// Flat engine's binary propagation head: trails qhead_ so every literal
+  /// resolves its binary implications before any long-clause work (unused
+  /// by the nested fallback).
+  std::size_t bin_qhead_ = 0;
 
   std::vector<double> activity_;
   double var_inc_ = 1.0;

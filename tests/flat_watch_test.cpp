@@ -1,0 +1,242 @@
+// Tests for the flat watcher arena (sat/watch.h) and the propagation
+// engine built on it: FlatLists storage semantics (slab growth, dead-slot
+// accounting, mark-compact, occurrence-histogram reservation), the
+// Solver::check_watches() invariant walker under heavy interleaving of
+// learning, reduce_db() GC, vivification detach/reattach and restarts, and
+// flat-vs-nested engine differentials. Runs in the ASan/TSan lanes: every
+// watcher is a raw index into a relocatable buffer, so an off-by-one here
+// is exactly the kind of bug only full memory checking surfaces.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sat/portfolio.h"
+#include "sat/solver.h"
+#include "sat/watch.h"
+#include "test_formulas.h"
+
+namespace csat::sat {
+namespace {
+
+using cnf::Cnf;
+using test::check_model;
+using test::pigeonhole;
+using test::random_3sat;
+
+// --- FlatLists storage semantics -------------------------------------------
+
+TEST(FlatLists, PushGrowsListsIndependentlyAndPreservesOrder) {
+  FlatLists<std::uint32_t> lists;
+  lists.ensure_lists(3);
+  for (std::uint32_t k = 0; k < 100; ++k) {
+    lists.push(0, k);
+    if (k % 2 == 0) lists.push(2, 1000 + k);
+  }
+  EXPECT_EQ(lists[0].size(), 100u);
+  EXPECT_EQ(lists[1].size(), 0u);
+  EXPECT_EQ(lists[2].size(), 50u);
+  for (std::uint32_t k = 0; k < 100; ++k) EXPECT_EQ(lists[0][k], k);
+  for (std::uint32_t k = 0; k < 50; ++k) EXPECT_EQ(lists[2][k], 1000 + 2 * k);
+  // Doubling growth from capacity 0 strands 4+8+16+32+64 slots per grown
+  // list; exact counts are an implementation detail, nonzero is the point.
+  EXPECT_GT(lists.dead_slots(), 0u);
+  EXPECT_GT(lists.relocations(), 0u);
+}
+
+TEST(FlatLists, RemoveOnePreservesOrderOfSurvivors) {
+  FlatLists<std::uint32_t> lists;
+  lists.ensure_lists(1);
+  for (std::uint32_t k = 0; k < 8; ++k) lists.push(0, k);
+  EXPECT_TRUE(lists.remove_one(0, 3));
+  EXPECT_FALSE(lists.remove_one(0, 99));
+  const auto s = lists[0];
+  ASSERT_EQ(s.size(), 7u);
+  const std::uint32_t expect[] = {0, 1, 2, 4, 5, 6, 7};
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(s[i], expect[i]);
+}
+
+TEST(FlatLists, ReserveListsAbsorbsHistogramSizedLoadWithoutRelocation) {
+  FlatLists<std::uint32_t> lists;
+  const std::vector<std::uint32_t> counts = {5, 0, 3, 7};
+  lists.reserve_lists(counts);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    for (std::uint32_t k = 0; k < counts[i]; ++k)
+      lists.push(i, static_cast<std::uint32_t>(100 * i + k));
+  EXPECT_EQ(lists.relocations(), 0u);
+  EXPECT_EQ(lists.dead_slots(), 0u);
+  EXPECT_EQ(lists[3].size(), 7u);
+  EXPECT_EQ(lists[3][6], 306u);
+  // One push past the reserved capacity is the first relocation.
+  lists.push(0, 42);
+  EXPECT_EQ(lists.relocations(), 1u);
+}
+
+TEST(FlatLists, CompactPacksEveryListAndDropsDeadSlabs) {
+  FlatLists<std::uint32_t> lists;
+  lists.ensure_lists(4);
+  for (std::uint32_t k = 0; k < 40; ++k) lists.push(k % 4, k);
+  lists.set_size(1, 3);  // simulate a purge truncating survivors
+  const std::size_t dead_before = lists.dead_slots();
+  EXPECT_GT(dead_before, 0u);
+  lists.compact();
+  EXPECT_EQ(lists.dead_slots(), 0u);
+  EXPECT_LT(lists.total_slots(), 40u + dead_before);
+  EXPECT_EQ(lists[0].size(), 10u);
+  EXPECT_EQ(lists[1].size(), 3u);
+  for (std::uint32_t k = 0; k < 10; ++k) EXPECT_EQ(lists[0][k], 4 * k);
+  for (std::uint32_t k = 0; k < 3; ++k) EXPECT_EQ(lists[1][k], 4 * k + 1);
+}
+
+TEST(FlatLists, ClearKeepsHighWaterListCountAndZeroesContents) {
+  FlatLists<std::uint32_t> lists;
+  lists.ensure_lists(6);
+  for (std::uint32_t k = 0; k < 30; ++k) lists.push(k % 6, k);
+  lists.clear();
+  EXPECT_EQ(lists.num_lists(), 6u);
+  EXPECT_EQ(lists.total_slots(), 0u);
+  EXPECT_EQ(lists.relocations(), 0u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(lists[i].size(), 0u);
+  lists.push(5, 7);  // lists stay usable after clear
+  EXPECT_EQ(lists[5][0], 7u);
+}
+
+// --- Solver integration ------------------------------------------------------
+
+/// Maximal churn per conflict: constant learnt-DB reduction, aggressive
+/// vivification, frequent restarts — every subsystem that detaches,
+/// reattaches, relocates or remaps watchers fires constantly.
+SolverConfig churn_config(bool flat) {
+  SolverConfig cfg;
+  cfg.flat_watch = flat;
+  cfg.reduce_first = 60;
+  cfg.reduce_increment = 15;
+  cfg.luby_unit = 16;
+  cfg.vivify = true;
+  cfg.vivify_interval = 100;
+  cfg.vivify_effort_permille = 300;
+  cfg.vivify_irredundant = true;
+  return cfg;
+}
+
+TEST(FlatWatch, ReservationAbsorbsFormulaAttachWithoutRelocations) {
+  // No root units (uniform 3-SAT), so nothing propagates before the first
+  // decision: the only pushes are the attach storm the occurrence-histogram
+  // reservation exists to absorb.
+  const Cnf f = random_3sat(150, 630, 0xFEED);
+  Solver solver;
+  solver.add_formula(f);
+  Limits limits;
+  limits.max_decisions = 0;
+  (void)solver.solve(limits);
+  EXPECT_EQ(solver.stats().watcher_relocations, 0u);
+  EXPECT_GT(solver.stats().watch_bytes, 0u);
+  EXPECT_TRUE(solver.check_watches());
+}
+
+TEST(FlatWatch, InvariantsHoldAcrossBudgetedChurnSlicesBothEngines) {
+  for (const bool flat : {true, false}) {
+    // Pigeonhole is binary-dominated (the bin lists see the churn) and
+    // UNSAT; the random instance exercises long-clause migration.
+    const Cnf formulas[] = {pigeonhole(5), random_3sat(90, 380, 0xC0FFEE)};
+    const Status expected[] = {Status::kUnsat, Status::kUnknown};
+    for (int i = 0; i < 2; ++i) {
+      Solver solver(churn_config(flat));
+      solver.add_formula(formulas[i]);
+      ASSERT_TRUE(solver.check_watches()) << "flat=" << flat << " i=" << i;
+      Status status = Status::kUnknown;
+      // Budgeted slices: every pause is a point where learning, GC,
+      // vivification and restarts have all interleaved since the last
+      // check, and the watch invariants must still hold exactly.
+      for (int slice = 0; slice < 40 && status == Status::kUnknown; ++slice) {
+        Limits limits;
+        limits.max_conflicts = solver.stats().conflicts + 150;
+        status = solver.solve(limits);
+        ASSERT_TRUE(solver.check_watches())
+            << "flat=" << flat << " i=" << i << " slice=" << slice;
+      }
+      if (expected[i] != Status::kUnknown) {
+        EXPECT_EQ(status, expected[i]);
+      }
+      if (status == Status::kSat) {
+        EXPECT_TRUE(check_model(formulas[i], solver.model()));
+      }
+    }
+  }
+}
+
+TEST(FlatWatch, WarmResetReusePreservesInvariants) {
+  Solver solver(churn_config(/*flat=*/true));
+  for (int round = 0; round < 3; ++round) {
+    solver.reset();
+    const Cnf f = random_3sat(60 + 10 * round, 250 + 45 * round,
+                              0xAB + static_cast<std::uint64_t>(round));
+    solver.add_formula(f);
+    const Status status = solver.solve();
+    EXPECT_TRUE(solver.check_watches()) << "round=" << round;
+    if (status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, solver.model()));
+    }
+    // reset() cleared the relocation counters along with the stats.
+    if (round > 0) {
+      EXPECT_LT(solver.stats().watcher_relocations, 1u << 20);
+    }
+  }
+}
+
+TEST(FlatWatch, EnginesAgreeOnVerdictsAcrossRandomInstances) {
+  Rng rng(0x57A7);
+  for (int i = 0; i < 25; ++i) {
+    const int vars = 30 + static_cast<int>(rng.next_below(40));
+    const int clauses = static_cast<int>(
+        static_cast<double>(vars) * (3.6 + 1.2 * rng.next_double()));
+    const Cnf f = random_3sat(vars, clauses, rng.next_u64());
+    SolverConfig on = churn_config(true);
+    SolverConfig off = churn_config(false);
+    const auto r_on = solve_cnf(f, on);
+    const auto r_off = solve_cnf(f, off);
+    EXPECT_EQ(r_on.status, r_off.status) << "iter=" << i;
+    if (r_on.status == Status::kSat) {
+      EXPECT_TRUE(check_model(f, r_on.model)) << "iter=" << i;
+      EXPECT_TRUE(check_model(f, r_off.model)) << "iter=" << i;
+    }
+    // The nested fallback never touches the flat containers.
+    EXPECT_EQ(r_off.stats.binary_props, 0u) << "iter=" << i;
+    EXPECT_EQ(r_off.stats.watcher_relocations, 0u) << "iter=" << i;
+  }
+}
+
+TEST(FlatWatch, DeterministicRerunsProduceIdenticalStats) {
+  const Cnf f = pigeonhole(6);
+  const auto run = [&] {
+    Solver solver(churn_config(/*flat=*/true));
+    solver.add_formula(f);
+    (void)solver.solve();
+    return solver.stats();
+  };
+  const Stats a = run();
+  const Stats b = run();
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.propagations, b.propagations);
+  EXPECT_EQ(a.binary_props, b.binary_props);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.watcher_relocations, b.watcher_relocations);
+}
+
+TEST(FlatWatch, PortfolioAggregatesEngineCountersAcrossWorkers) {
+  PortfolioOptions opt;
+  opt.num_workers = 2;
+  opt.configs = default_portfolio(2, 0xBEEF);
+  const auto r = solve_portfolio(pigeonhole(5), opt);
+  EXPECT_EQ(r.status, Status::kUnsat);
+  // Race-wide totals cover every worker, so they dominate any single
+  // worker's counters (the flat engine is the portfolio default).
+  EXPECT_GE(r.total_propagations, r.stats.propagations);
+  EXPECT_GT(r.total_propagations, 0u);
+  EXPECT_GT(r.total_watch_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace csat::sat

@@ -200,21 +200,25 @@ TEST(FuzzDifferential, GcChurnUnderSharing) {
 }
 
 TEST(FuzzDifferential, InprocessingLeverMatrix) {
-  // chrono x vivify x adaptive-sharing x cnf-simplify axes: every lever
-  // combination must agree with the all-off sequential baseline,
-  // sequentially and through a 4-worker portfolio, and every SAT verdict's
-  // model must check out (against the ORIGINAL formula when the simplify
-  // lever rewrote it).
+  // chrono x vivify x adaptive-sharing x cnf-simplify x flat-watch axes:
+  // every lever combination must agree with the all-off sequential
+  // baseline, sequentially and through a 4-worker portfolio, and every SAT
+  // verdict's model must check out (against the ORIGINAL formula when the
+  // simplify lever rewrote it). The flat lever swaps the whole propagation
+  // engine (flat arena + binary-first vs nested vectors), so each
+  // inprocessing combination is exercised under both BCP orderings.
   struct Levers {
     bool chrono;
     bool vivify;
     bool adaptive;
     bool simplify;
+    bool flat;
   };
   const Levers combos[] = {
-      {true, false, false, false}, {false, true, false, false},
-      {true, true, false, false},  {true, true, true, false},
-      {false, false, false, true}, {true, true, true, true},
+      {true, false, false, false, true}, {false, true, false, false, false},
+      {true, true, false, false, false}, {true, true, true, false, true},
+      {false, false, false, true, true}, {false, false, false, true, false},
+      {true, true, true, true, true},    {true, true, true, true, false},
   };
   Rng rng(0x1E7E85);
   for (int i = 0; i < 40; ++i) {
@@ -264,6 +268,7 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
       on.chrono_threshold = 2;
       on.vivify = lv.vivify;
       on.vivify_interval = 50;
+      on.flat_watch = lv.flat;
       std::optional<sat::RemapTracer> remap;
       if (lv.simplify) remap.emplace(proof, pre.inverse_map);
       sat::ProofTracer* tracer = remap ? static_cast<sat::ProofTracer*>(&*remap)
@@ -292,6 +297,7 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
         cfg.chrono_threshold = 2;
         cfg.vivify = lv.vivify;
         cfg.vivify_interval = 50;
+        cfg.flat_watch = lv.flat;
       }
       opt.sharing.enabled = true;
       opt.sharing.adaptive = lv.adaptive;
@@ -310,36 +316,41 @@ TEST(FuzzDifferential, InprocessingLeverMatrix) {
 TEST(FuzzDifferential, UnsatProofsValidateAcrossInstanceFamilies) {
   // ~110 instances — random 3-SAT biased to the UNSAT side, pigeonhole,
   // and Tseitin-encoded circuit miters — each solved sequentially with
-  // DRAT tracing, with the CNF preprocessor both off and on. Every UNSAT
-  // verdict must produce a proof the in-tree checker validates against the
-  // ORIGINAL formula; a single missing or misordered emission anywhere in
-  // the solver or the simplifier fails the sweep.
+  // DRAT tracing, with the CNF preprocessor both off and on, and the
+  // propagation engine both flat and nested. Binary-first BCP visits
+  // implications in a different order than the nested engine, so the two
+  // polarities derive different learnt sequences; both must still emit
+  // proofs the in-tree checker validates against the ORIGINAL formula. A
+  // single missing or misordered emission anywhere in the solver or the
+  // simplifier fails the sweep.
   int proofs_checked = 0;
   const auto check_one = [&](const cnf::Cnf& f, const std::string& tag) {
-    for (const bool simplify : {false, true}) {
-      sat::ProofLog proof;
-      sat::Status status = sat::Status::kUnsat;
-      if (simplify) {
-        cnf::SimplifyParams sp;
-        sp.proof = &proof;
-        const auto pre = cnf::simplify(f, sp);
-        if (!pre.unsat) {
-          sat::RemapTracer remap(proof, pre.inverse_map);
-          status = sat::solve_cnf(pre.cnf, sat::SolverConfig::kissat_like(),
-                                  {}, &remap)
-                       .status;
+    for (const bool flat : {true, false}) {
+      sat::SolverConfig cfg = sat::SolverConfig::kissat_like();
+      cfg.flat_watch = flat;
+      for (const bool simplify : {false, true}) {
+        sat::ProofLog proof;
+        sat::Status status = sat::Status::kUnsat;
+        if (simplify) {
+          cnf::SimplifyParams sp;
+          sp.proof = &proof;
+          const auto pre = cnf::simplify(f, sp);
+          if (!pre.unsat) {
+            sat::RemapTracer remap(proof, pre.inverse_map);
+            status = sat::solve_cnf(pre.cnf, cfg, {}, &remap).status;
+          }
+        } else {
+          status = sat::solve_cnf(f, cfg, {}, &proof).status;
         }
-      } else {
-        status =
-            sat::solve_cnf(f, sat::SolverConfig::kissat_like(), {}, &proof)
-                .status;
+        if (status != sat::Status::kUnsat) continue;
+        const auto res = sat::check_drat(f, proof);
+        EXPECT_TRUE(res.valid) << tag << " flat=" << flat
+                               << " simplify=" << simplify << ": "
+                               << res.error;
+        EXPECT_TRUE(res.proved_unsat)
+            << tag << " flat=" << flat << " simplify=" << simplify;
+        ++proofs_checked;
       }
-      if (status != sat::Status::kUnsat) continue;
-      const auto res = sat::check_drat(f, proof);
-      EXPECT_TRUE(res.valid) << tag << " simplify=" << simplify << ": "
-                             << res.error;
-      EXPECT_TRUE(res.proved_unsat) << tag << " simplify=" << simplify;
-      ++proofs_checked;
     }
   };
 
@@ -363,9 +374,10 @@ TEST(FuzzDifferential, UnsatProofsValidateAcrossInstanceFamilies) {
     if (enc.trivially_sat) continue;
     check_one(enc.cnf, "proofs/" + inst.name);
   }
-  // Both preprocessor arms run per instance, so a healthy majority of the
-  // sweep must end in a checked refutation or the sweep is vacuous.
-  EXPECT_GT(proofs_checked, 80);
+  // Both preprocessor arms run per instance under both engines (four
+  // solves each), so a healthy majority of the sweep must end in a checked
+  // refutation or the sweep is vacuous.
+  EXPECT_GT(proofs_checked, 160);
 }
 
 TEST(FuzzDifferential, SharingUnderTinyRingAndAggressiveFilters) {
