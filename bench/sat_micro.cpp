@@ -36,6 +36,24 @@
 // that flag, `--json` always appends a measured proof on/off comparison
 // ("proof" block) on the UNSAT families, recording wall time both ways
 // plus the proof's add/delete step counts.
+//
+// `--blocker-sort=on|off` (default on) toggles blocker-aware watcher
+// ordering in the flat engine's reduce-time compaction (survivors whose
+// blocker is currently satisfied are packed first, maximizing early
+// blocker-skip exits on the next descent). `--json` always appends a
+// measured on/off comparison ("blocker_sort" block) regardless of the flag.
+//
+// `--json` also appends a "circuit" block: the circuit-native backend
+// (sat/circuit_solver.h, PR 9) vs the Tseitin+CNF backend on the
+// adder-miter family (solved directly on the AIG) and the pigeonhole
+// family (bridged through cnf::cnf_to_aig), with gate-domain counters
+// (gate propagations, justification decisions, frontier high-water mark)
+// next to the CNF arm's numbers. Verdict agreement is self-checked.
+//
+// `sat_micro --smoke-circuit` is the companion CI gate: a fixed mixed
+// 16-instance generated suite (gen/suite.h) solved by BOTH backends;
+// any circuit-vs-CNF verdict disagreement or wrong expected verdict exits
+// nonzero.
 
 #include <benchmark/benchmark.h>
 
@@ -48,11 +66,14 @@
 #include <string_view>
 #include <vector>
 
+#include "cnf/cnf_to_aig.h"
 #include "cnf/simplify.h"
 #include "cnf/tseitin.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "gen/miter.h"
+#include "gen/suite.h"
+#include "sat/circuit_solver.h"
 #include "sat/portfolio.h"
 #include "sat/proof.h"
 #include "sat/solver.h"
@@ -74,6 +95,9 @@ struct Ablation {
   // DRAT emission into a discarding sink on every sequential solve. Off by
   // default for the same reason.
   bool proof = false;
+  // Blocker-aware watcher ordering in the flat engine's reduce-time
+  // compaction (sat/watch.h compact(pred)).
+  bool blocker_sort = true;
   // 0 = keep the preset's default; sweepable for tuning runs.
   std::uint32_t chrono_threshold = 0;
   std::uint64_t vivify_interval = 0;
@@ -130,6 +154,7 @@ sat::SolverConfig preset(int index) {
   c.chrono = g_ablation.chrono;
   c.vivify = g_ablation.vivify;
   c.flat_watch = g_ablation.flat;
+  c.blocker_sorted_compact = g_ablation.blocker_sort;
   if (g_ablation.chrono_threshold != 0)
     c.chrono_threshold = g_ablation.chrono_threshold;
   if (g_ablation.vivify_interval != 0)
@@ -345,6 +370,93 @@ int run_smoke() {
   return failures == 0 ? 0 : 1;
 }
 
+// --- `--smoke-circuit` CI gate ----------------------------------------------
+
+/// Release-mode circuit-backend agreement gate, registered as the
+/// smoke.circuit_vs_cnf CTest: a fixed mixed 16-instance generated suite
+/// (LEC + ATPG miters, a fraction with injected bugs => SAT) is solved by
+/// the circuit-native backend AND the Tseitin+CNF backend; the two
+/// verdicts must agree on every instance, every circuit SAT witness must
+/// satisfy the Tseitin encoding of its instance, and no instance may time
+/// out. Any failure exits nonzero.
+int run_smoke_circuit() {
+  gen::SuiteParams params;
+  params.count = 16;
+  params.seed = 0xC19C0117;
+  const auto suite = gen::make_suite(params);
+
+  const sat::SolverConfig cnf_cfg = preset(0);
+  const sat::CircuitSolverConfig circ_cfg =
+      sat::CircuitSolverConfig::from_cnf(cnf_cfg);
+
+  int failures = 0;
+  int sat_count = 0, unsat_count = 0;
+  double circuit_seconds = 0.0, cnf_seconds = 0.0;
+  for (const gen::Instance& inst : suite) {
+    Stopwatch circ_watch;
+    const auto circ = sat::solve_circuit(inst.circuit, circ_cfg);
+    circuit_seconds += circ_watch.seconds();
+
+    const auto enc = cnf::tseitin_encode(inst.circuit);
+    sat::Status cnf_status = sat::Status::kUnknown;
+    Stopwatch cnf_watch;
+    if (enc.trivially_unsat) {
+      cnf_status = sat::Status::kUnsat;
+    } else if (enc.trivially_sat) {
+      cnf_status = sat::Status::kSat;
+    } else {
+      cnf_status = sat::solve_cnf(enc.cnf, cnf_cfg).status;
+    }
+    cnf_seconds += cnf_watch.seconds();
+
+    std::printf("smoke-circuit %-28s circuit=%d cnf=%d\n", inst.name.c_str(),
+                static_cast<int>(circ.status), static_cast<int>(cnf_status));
+    if (circ.status == sat::Status::kUnknown ||
+        cnf_status == sat::Status::kUnknown) {
+      std::printf("FAIL: %s: a backend returned UNKNOWN\n", inst.name.c_str());
+      ++failures;
+      continue;
+    }
+    if (circ.status != cnf_status) {
+      std::printf("FAIL: %s: circuit and CNF backends disagree\n",
+                  inst.name.c_str());
+      ++failures;
+      continue;
+    }
+    if (circ.status == sat::Status::kSat) {
+      ++sat_count;
+      // The circuit witness must be a model of the *CNF encoding* too:
+      // assign every node its evaluated value and check clause by clause.
+      if (!enc.trivially_sat) {
+        std::vector<bool> model(enc.cnf.num_vars(), false);
+        for (std::size_t node = 0; node < enc.node2var.size(); ++node) {
+          const std::uint32_t v = enc.node2var[node];
+          if (v == UINT32_MAX) continue;
+          model[v] = circ.node_values[node] != 0;
+        }
+        if (!enc.cnf.satisfied_by(model)) {
+          std::printf("FAIL: %s: circuit witness violates the Tseitin CNF\n",
+                      inst.name.c_str());
+          ++failures;
+        }
+      }
+    } else {
+      ++unsat_count;
+    }
+  }
+  std::printf(
+      "smoke-circuit total: %zu instances (%d SAT / %d UNSAT), "
+      "circuit %.3f s vs cnf %.3f s\n",
+      suite.size(), sat_count, unsat_count, circuit_seconds, cnf_seconds);
+  // The generated mix must actually exercise both verdicts, or the gate
+  // silently degrades into a one-sided check.
+  if (sat_count == 0 || unsat_count == 0) {
+    std::printf("FAIL: suite did not cover both SAT and UNSAT\n");
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 // --- `--json <path>` machine-readable run -----------------------------------
 
 /// Mean-of-N run over aggregated instance families, written as one JSON
@@ -389,6 +501,8 @@ int run_json(const char* path, int repeats) {
   out += g_ablation.simplify ? "true" : "false";
   out += ", \"proof\": ";
   out += g_ablation.proof ? "true" : "false";
+  out += ", \"blocker_sort\": ";
+  out += g_ablation.blocker_sort ? "true" : "false";
   out += ", \"mean_of\": " + std::to_string(repeats) +
          ", \"solver_seeds\": " + std::to_string(kSolverSeeds) + "},\n";
   out += "  \"results\": [\n";
@@ -670,6 +784,145 @@ int run_json(const char* path, int repeats) {
                   all_unsat ? "" : "  VERDICT MISMATCH");
     }
   }
+  // Measured circuit-vs-CNF backend comparison (PR 9), always emitted: the
+  // circuit-native solver works on the AIG (adder miters directly; the
+  // pigeonhole CNF bridged through cnf::cnf_to_aig), the CNF arm solves the
+  // Tseitin encoding / raw formula with preset 0. Gate-domain counters sit
+  // next to the CNF arm's numbers; both arms must agree on every verdict.
+  out += "  ],\n  \"circuit\": [\n";
+  {
+    struct CircuitFamily {
+      const char* name;
+      std::vector<aig::Aig> circuits;  ///< circuit arm input
+      std::vector<cnf::Cnf> formulas;  ///< CNF arm input, index-aligned
+    };
+    CircuitFamily cfams[] = {{"adder_miter", {}, {}}, {"pigeonhole", {}, {}}};
+    for (int w : {8, 16}) {
+      cfams[0].circuits.push_back(gen::make_adder_miter(w));
+      cfams[0].formulas.push_back(
+          cnf::tseitin_encode(cfams[0].circuits.back()).cnf);
+    }
+    for (int h : {6, 7}) {
+      cfams[1].formulas.push_back(pigeonhole(h));
+      cfams[1].circuits.push_back(cnf::cnf_to_aig(cfams[1].formulas.back()));
+    }
+    const sat::SolverConfig cnf_cfg = preset(0);
+    const sat::CircuitSolverConfig circ_cfg =
+        sat::CircuitSolverConfig::from_cnf(cnf_cfg);
+    bool cfirst = true;
+    for (CircuitFamily& fam : cfams) {
+      double circ_seconds = 0.0, cnf_seconds = 0.0;
+      sat::CircuitStats cstats;
+      std::uint64_t cnf_conflicts = 0, cnf_props = 0;
+      bool agree = true;
+      for (int rep = 0; rep < repeats; ++rep) {
+        cstats = {};
+        cnf_conflicts = cnf_props = 0;
+        for (std::size_t i = 0; i < fam.circuits.size(); ++i) {
+          Stopwatch circ_watch;
+          const auto circ = sat::solve_circuit(fam.circuits[i], circ_cfg);
+          circ_seconds += circ_watch.seconds();
+          Stopwatch cnf_watch;
+          const auto r = sat::solve_cnf(fam.formulas[i], cnf_cfg);
+          cnf_seconds += cnf_watch.seconds();
+          agree &= circ.status == r.status;
+          cstats.decisions += circ.stats.decisions;
+          cstats.justification_decisions += circ.stats.justification_decisions;
+          cstats.conflicts += circ.stats.conflicts;
+          cstats.propagations += circ.stats.propagations;
+          cstats.gate_propagations += circ.stats.gate_propagations;
+          cstats.max_frontier =
+              std::max(cstats.max_frontier, circ.stats.max_frontier);
+          cnf_conflicts += r.stats.conflicts;
+          cnf_props += r.stats.propagations;
+        }
+      }
+      const double circ_ms = circ_seconds / repeats * 1e3;
+      const double cnf_ms = cnf_seconds / repeats * 1e3;
+      char line[640];
+      std::snprintf(
+          line, sizeof(line),
+          "    %s{\"family\": \"%s\", \"circuit_ms\": %.3f, "
+          "\"cnf_ms\": %.3f, \"gate_propagations\": %llu, "
+          "\"circuit_propagations\": %llu, \"circuit_conflicts\": %llu, "
+          "\"circuit_decisions\": %llu, \"justification_decisions\": %llu, "
+          "\"max_frontier\": %llu, \"cnf_conflicts\": %llu, "
+          "\"cnf_propagations\": %llu, \"verdicts_agree\": %s}",
+          cfirst ? "" : ",", fam.name, circ_ms, cnf_ms,
+          static_cast<unsigned long long>(cstats.gate_propagations),
+          static_cast<unsigned long long>(cstats.propagations),
+          static_cast<unsigned long long>(cstats.conflicts),
+          static_cast<unsigned long long>(cstats.decisions),
+          static_cast<unsigned long long>(cstats.justification_decisions),
+          static_cast<unsigned long long>(cstats.max_frontier),
+          static_cast<unsigned long long>(cnf_conflicts),
+          static_cast<unsigned long long>(cnf_props),
+          agree ? "true" : "false");
+      out += line;
+      out += '\n';
+      cfirst = false;
+      std::printf("json circuit %-12s circuit %8.1f ms  cnf %8.1f ms%s\n",
+                  fam.name, circ_ms, cnf_ms,
+                  agree ? "" : "  VERDICT MISMATCH");
+    }
+  }
+  // Measured blocker-sorted-compaction on/off comparison (PR 9 satellite),
+  // always emitted regardless of --blocker-sort: the same preset-0 solves
+  // with survivors packed blocker-live-first at reduce-time compaction vs
+  // plain order-preserving compaction. The lever only changes watch-list
+  // order, so verdicts must agree; wall time and relocation counts move.
+  out += "  ],\n  \"blocker_sort\": [\n";
+  {
+    struct AbFamily {
+      const char* name;
+      std::vector<cnf::Cnf> instances;
+    };
+    AbFamily afams[] = {{"adder_miter", {}}, {"random3sat", {}}};
+    for (int w : {16, 32, 48}) afams[0].instances.push_back(adder_miter_cnf(w));
+    for (int s = 0; s < 8; ++s)
+      afams[1].instances.push_back(random_3sat(170, 4.26, 1000 + s));
+    bool afirst = true;
+    for (AbFamily& fam : afams) {
+      double on_seconds = 0.0, off_seconds = 0.0;
+      std::uint64_t on_relocations = 0, off_relocations = 0;
+      bool agree = true;
+      for (int rep = 0; rep < repeats; ++rep) {
+        on_relocations = off_relocations = 0;
+        sat::SolverConfig on_cfg = preset(0);
+        on_cfg.blocker_sorted_compact = true;
+        sat::SolverConfig off_cfg = preset(0);
+        off_cfg.blocker_sorted_compact = false;
+        for (const cnf::Cnf& f : fam.instances) {
+          Stopwatch on_watch;
+          const auto on = sat::solve_cnf(f, on_cfg);
+          on_seconds += on_watch.seconds();
+          Stopwatch off_watch;
+          const auto off = sat::solve_cnf(f, off_cfg);
+          off_seconds += off_watch.seconds();
+          agree &= on.status == off.status;
+          on_relocations += on.stats.watcher_relocations;
+          off_relocations += off.stats.watcher_relocations;
+        }
+      }
+      char line[384];
+      std::snprintf(line, sizeof(line),
+                    "    %s{\"family\": \"%s\", \"on_ms\": %.3f, "
+                    "\"off_ms\": %.3f, \"on_relocations\": %llu, "
+                    "\"off_relocations\": %llu, \"verdicts_agree\": %s}",
+                    afirst ? "" : ",", fam.name, on_seconds / repeats * 1e3,
+                    off_seconds / repeats * 1e3,
+                    static_cast<unsigned long long>(on_relocations),
+                    static_cast<unsigned long long>(off_relocations),
+                    agree ? "true" : "false");
+      out += line;
+      out += '\n';
+      afirst = false;
+      std::printf("json blocker_sort %-12s on %8.1f ms  off %8.1f ms%s\n",
+                  fam.name, on_seconds / repeats * 1e3,
+                  off_seconds / repeats * 1e3,
+                  agree ? "" : "  VERDICT MISMATCH");
+    }
+  }
   out += "  ]\n}\n";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -720,6 +973,7 @@ BENCHMARK(BM_PortfolioAdderMiter)
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool smoke_circuit = false;
   const char* json_path = nullptr;
   int repeats = 3;
   std::vector<char*> passthrough{argv[0]};
@@ -733,6 +987,8 @@ int main(int argc, char** argv) {
     bool bad = false;
     if (a == "--smoke") {
       smoke = true;
+    } else if (a == "--smoke-circuit") {
+      smoke_circuit = true;
     } else if (a.rfind("--json=", 0) == 0) {
       json_path = argv[i] + 7;
     } else if (a == "--json" && i + 1 < argc) {
@@ -752,6 +1008,8 @@ int main(int argc, char** argv) {
       bad = !parse_onoff(a.substr(11), g_ablation.simplify);
     } else if (a.rfind("--proof=", 0) == 0) {
       bad = !parse_onoff(a.substr(8), g_ablation.proof);
+    } else if (a.rfind("--blocker-sort=", 0) == 0) {
+      bad = !parse_onoff(a.substr(15), g_ablation.blocker_sort);
     } else if (a.rfind("--chrono-threshold=", 0) == 0) {
       g_ablation.chrono_threshold =
           static_cast<std::uint32_t>(std::atoi(argv[i] + 19));
@@ -770,6 +1028,7 @@ int main(int argc, char** argv) {
     }
   }
   if (smoke) return run_smoke();
+  if (smoke_circuit) return run_smoke_circuit();
   if (json_path != nullptr) return run_json(json_path, repeats);
   int pargc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pargc, passthrough.data());

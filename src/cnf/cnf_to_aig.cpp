@@ -1,0 +1,50 @@
+#include "cnf/cnf_to_aig.h"
+
+#include <vector>
+
+namespace csat::cnf {
+
+namespace {
+
+/// Balanced pairwise fold; combine is or2/and2. Keeps tree depth
+/// logarithmic so deep clause chains don't serialize gate propagation.
+template <typename Fn>
+aig::Lit reduce_balanced(aig::Aig& g, std::vector<aig::Lit>& lits,
+                         aig::Lit empty_value, Fn&& combine) {
+  if (lits.empty()) return empty_value;
+  while (lits.size() > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2)
+      lits[out++] = combine(g, lits[i], lits[i + 1]);
+    if ((lits.size() & 1u) != 0) lits[out++] = lits.back();
+    lits.resize(out);
+  }
+  return lits[0];
+}
+
+}  // namespace
+
+aig::Aig cnf_to_aig(const Cnf& f) {
+  aig::Aig g;
+  std::vector<aig::Lit> var2lit(f.num_vars());
+  for (std::uint32_t v = 0; v < f.num_vars(); ++v) var2lit[v] = g.add_pi();
+
+  std::vector<aig::Lit> clause_outs;
+  clause_outs.reserve(f.num_clauses());
+  std::vector<aig::Lit> scratch;
+  for (std::size_t ci = 0; ci < f.num_clauses(); ++ci) {
+    scratch.clear();
+    for (const Lit l : f.clause(ci))
+      scratch.push_back(var2lit[l.var()] ^ l.sign());
+    clause_outs.push_back(reduce_balanced(
+        g, scratch, aig::kFalse,
+        [](aig::Aig& a, aig::Lit x, aig::Lit y) { return a.or2(x, y); }));
+  }
+  const aig::Lit po = reduce_balanced(
+      g, clause_outs, aig::kTrue,
+      [](aig::Aig& a, aig::Lit x, aig::Lit y) { return a.and2(x, y); });
+  g.add_po(po);
+  return g;
+}
+
+}  // namespace csat::cnf

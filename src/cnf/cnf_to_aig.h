@@ -1,0 +1,35 @@
+#ifndef CSAT_CNF_CNF_TO_AIG_H
+#define CSAT_CNF_CNF_TO_AIG_H
+
+/// \file cnf_to_aig.h
+/// CNF -> AIG bridge: re-expresses a clause set as a single-output circuit
+/// so CNF-native workloads (pigeonhole, random 3-SAT, DIMACS files) can run
+/// on the circuit-native backend (sat/circuit_solver.h).
+///
+/// Construction: variable i becomes PI i (pis() order == variable order, so
+/// a circuit witness is directly a CNF model); each clause becomes an OR
+/// tree over its literals; the clause outputs are AND-reduced into one PO.
+/// The CSAT question "is some PO 1" on the result is exactly "is the CNF
+/// satisfiable". Both reductions are balanced fold trees, so the bridge
+/// adds O(literals) gates of logarithmic depth, and strashing dedupes
+/// repeated subclauses.
+///
+/// The bridge is intentionally the *naive* structural embedding — no
+/// sharing recovery or gate extraction — because its role is differential:
+/// the circuit arm must reach the same verdict as the CNF arm on the same
+/// instance, not win on it.
+
+#include "aig/aig.h"
+#include "cnf/cnf.h"
+
+namespace csat::cnf {
+
+/// Builds the single-PO AIG described above. An empty clause yields a
+/// constant-FALSE PO (trivially UNSAT); a formula with no clauses yields a
+/// constant-TRUE PO (trivially SAT). PIs are created for all num_vars()
+/// variables whether or not they occur in clauses.
+aig::Aig cnf_to_aig(const Cnf& f);
+
+}  // namespace csat::cnf
+
+#endif  // CSAT_CNF_CNF_TO_AIG_H

@@ -28,6 +28,9 @@ BatchResult run_batch(const std::vector<aig::Aig>& instances,
     if (options.pipeline.backend == SolveBackend::kPortfolio) {
       workers = std::max<std::size_t>(
           1, workers / std::max<std::size_t>(1, options.pipeline.portfolio_size));
+    } else if (options.pipeline.backend == SolveBackend::kCircuitRace) {
+      // The race runs two solver threads (circuit + CNF) per instance.
+      workers = std::max<std::size_t>(1, workers / 2);
     }
   }
   workers = std::min(workers, instances.size());

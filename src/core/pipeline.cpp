@@ -33,6 +33,10 @@ const char* to_string(SolveBackend backend) {
       return "single";
     case SolveBackend::kPortfolio:
       return "portfolio";
+    case SolveBackend::kCircuit:
+      return "circuit";
+    case SolveBackend::kCircuitRace:
+      return "circuit-race";
   }
   return "?";
 }
@@ -122,6 +126,43 @@ EncodedFormula maybe_simplify(cnf::Cnf cnf, const PipelineOptions& options,
   return e;
 }
 
+/// Circuit-native backends: no Tseitin encoding, no synthesis arm, no CNF
+/// simplifier — the solver (or the circuit arm of the race) works on the
+/// instance AIG as given, so the whole run is "solve" time.
+PipelineResult run_circuit(const aig::Aig& instance,
+                           const PipelineOptions& options) {
+  CSAT_CHECK_MSG(options.proof == nullptr,
+                 "circuit backends emit no DRAT stream: learnt constraints "
+                 "are derived from implicit gate clauses the checker never "
+                 "sees; use backend=single for checkable UNSAT");
+  PipelineResult result;
+  result.ands_before = result.ands_after = instance.num_live_ands();
+  Stopwatch watch;
+  if (options.backend == SolveBackend::kCircuit) {
+    sat::CircuitSolver solver(
+        sat::CircuitSolverConfig::from_cnf(options.solver));
+    solver.load(instance);
+    result.status = solver.solve(options.limits);
+    result.circuit_stats = solver.stats();
+    if (result.status == sat::Status::kSat) result.witness = solver.witness();
+  } else {
+    sat::CircuitRaceOptions ropt;
+    ropt.solver = options.solver;
+    ropt.circuit = sat::CircuitSolverConfig::from_cnf(options.solver);
+    ropt.limits = options.limits;
+    ropt.deterministic = options.portfolio_deterministic;
+    auto r = sat::solve_circuit_race(instance, ropt);
+    result.status = r.status;
+    result.circuit_stats = r.circuit_stats;
+    result.solver_stats = r.cnf_stats;
+    if (r.winner != sat::CircuitRaceResult::Arm::kNone)
+      result.portfolio_winner = static_cast<std::size_t>(r.winner);
+    result.witness = std::move(r.witness);
+  }
+  result.solve_seconds = watch.seconds();
+  return result;
+}
+
 PipelineResult run_baseline(const aig::Aig& instance,
                             const PipelineOptions& options) {
   PipelineResult result;
@@ -161,6 +202,9 @@ PipelineResult run_baseline(const aig::Aig& instance,
 
 PipelineResult solve_instance(const aig::Aig& instance,
                               const PipelineOptions& options) {
+  if (options.backend == SolveBackend::kCircuit ||
+      options.backend == SolveBackend::kCircuitRace)
+    return run_circuit(instance, options);
   if (options.mode == PipelineMode::kBaseline)
     return run_baseline(instance, options);
 

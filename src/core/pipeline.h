@@ -45,10 +45,16 @@ enum class PipelineMode {
 
 [[nodiscard]] const char* to_string(PipelineMode mode);
 
-/// How the encoded CNF is solved after preprocessing.
+/// How the instance is solved after preprocessing. The first two backends
+/// solve the encoded CNF; the circuit backends skip the CNF encoding
+/// entirely and run sat/circuit_solver.h directly on the *original*
+/// instance AIG (PipelineMode synthesis arms and the CNF simplifier do not
+/// apply — cnf_vars/cnf_clauses stay 0 in the result).
 enum class SolveBackend {
-  kSingle,     ///< one solver, PipelineOptions::solver config
-  kPortfolio,  ///< diversified multi-threaded race (sat/portfolio.h)
+  kSingle,       ///< one solver, PipelineOptions::solver config
+  kPortfolio,    ///< diversified multi-threaded race (sat/portfolio.h)
+  kCircuit,      ///< circuit-native CDCL on the AIG (sat/circuit_solver.h)
+  kCircuitRace,  ///< circuit arm races the Tseitin+CNF arm, first wins
 };
 
 [[nodiscard]] const char* to_string(SolveBackend backend);
@@ -101,9 +107,15 @@ struct PipelineResult {
   }
   sat::Stats solver_stats;
   /// Winning config index when backend == kPortfolio and a worker produced
-  /// the verdict; SIZE_MAX otherwise (kSingle, portfolio timeout, and
-  /// trivially-SAT early exits that never reach a solver).
+  /// the verdict; for kCircuitRace, 0 = circuit arm, 1 = CNF arm; SIZE_MAX
+  /// otherwise (kSingle, kCircuit, timeouts, and trivially-SAT early exits
+  /// that never reach a solver).
   std::size_t portfolio_winner = std::numeric_limits<std::size_t>::max();
+  /// Circuit-native backend counters (kCircuit, or kCircuitRace's circuit
+  /// arm): gate propagations, justification decisions, frontier gauges.
+  /// Zero-initialized for the CNF backends. For kCircuitRace, solver_stats
+  /// carries the CNF arm's counters alongside.
+  sat::CircuitStats circuit_stats;
   /// Clause-sharing totals over all portfolio workers (zero for kSingle or
   /// when sharing was disabled); solver_stats carries the winner's share.
   std::uint64_t clauses_exported = 0;

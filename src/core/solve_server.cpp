@@ -12,6 +12,7 @@
 
 #include "aig/aiger_io.h"
 #include "aig/structural_hash.h"
+#include "cnf/cnf_to_aig.h"
 #include "cnf/dimacs.h"
 #include "cnf/tseitin.h"
 #include "common/rng.h"
@@ -112,9 +113,14 @@ struct BuiltInstance {
   std::size_t witness_units = 0;  ///< PI count (circuit) / var count (CNF)
   bool trivially_sat = false;
   bool trivially_unsat = false;
+  /// The AIG for the circuit backends: the source circuit as parsed, or
+  /// cnf::cnf_to_aig of a CNF source. Built only when the request asked
+  /// for a circuit backend (has_circuit), so CNF-only requests pay nothing.
+  aig::Aig circuit;
+  bool has_circuit = false;
 };
 
-BuiltInstance build_from_aig(const aig::Aig& g) {
+BuiltInstance build_from_aig(aig::Aig g, bool want_circuit) {
   BuiltInstance b;
   b.key = mix64(aig::structural_hash(g) ^ kAigDomain);
   auto enc = cnf::tseitin_encode(g);
@@ -122,13 +128,24 @@ BuiltInstance build_from_aig(const aig::Aig& g) {
   b.witness_units = g.num_pis();
   b.trivially_sat = enc.trivially_sat;
   b.trivially_unsat = enc.trivially_unsat;
+  if (want_circuit) {
+    b.circuit = std::move(g);
+    b.has_circuit = true;
+  }
   return b;
 }
 
-BuiltInstance build_from_cnf(cnf::Cnf formula) {
+BuiltInstance build_from_cnf(cnf::Cnf formula, bool want_circuit) {
   BuiltInstance b;
   b.key = mix64(cnf::structural_hash(formula) ^ kCnfDomain);
   b.witness_units = formula.num_vars();
+  if (want_circuit) {
+    // Bridge: vars become PIs in order, so a circuit witness IS a CNF
+    // model. The key stays the CNF-domain hash — the verdict is a property
+    // of the formula, not of which backend answered.
+    b.circuit = cnf::cnf_to_aig(formula);
+    b.has_circuit = true;
+  }
   b.formula = std::move(formula);
   return b;
 }
@@ -219,16 +236,24 @@ class CountingDratTracer final : public sat::ProofTracer {
   std::uint64_t deletes_ = 0;
 };
 
+bool is_circuit_backend(SolveBackend backend) {
+  return backend == SolveBackend::kCircuit ||
+         backend == SolveBackend::kCircuitRace;
+}
+
 BuiltInstance build_instance(const ServerRequest& request) {
+  const bool want_circuit = is_circuit_backend(request.backend);
   switch (request.instance) {
     case ServerRequest::Instance::kInlineCnf:
-      return build_from_cnf(parse_inline_cnf(request.payload));
+      return build_from_cnf(parse_inline_cnf(request.payload), want_circuit);
     case ServerRequest::Instance::kDimacsFile:
-      return build_from_cnf(cnf::read_dimacs_file(request.payload));
+      return build_from_cnf(cnf::read_dimacs_file(request.payload),
+                            want_circuit);
     case ServerRequest::Instance::kAigerFile:
-      return build_from_aig(aig::read_aiger_file(request.payload));
+      return build_from_aig(aig::read_aiger_file(request.payload),
+                            want_circuit);
     case ServerRequest::Instance::kFamily:
-      return build_from_aig(build_family(request.payload));
+      return build_from_aig(build_family(request.payload), want_circuit);
   }
   throw std::runtime_error("unreachable instance kind");
 }
@@ -249,7 +274,20 @@ std::string ServerResponse::to_json() const {
   out += "\",\"cache\":\"";
   out += cache;
   out += "\",\"backend\":\"";
-  out += backend == SolveBackend::kPortfolio ? "portfolio" : "sequential";
+  switch (backend) {
+    case SolveBackend::kSingle:
+      out += "sequential";
+      break;
+    case SolveBackend::kPortfolio:
+      out += "portfolio";
+      break;
+    case SolveBackend::kCircuit:
+      out += "circuit";
+      break;
+    case SolveBackend::kCircuitRace:
+      out += "circuit-race";
+      break;
+  }
   out += "\",\"seconds\":";
   append_double(out, seconds);
   if (cache[0] == 'h') {
@@ -297,6 +335,24 @@ std::string ServerResponse::to_json() const {
            std::to_string(simplify_stats.removed_clauses);
     out += ",\"seconds\":";
     append_double(out, simplify_stats.seconds);
+    out += '}';
+  }
+  // Circuit-native backend report (PR 9): search effort in the gate domain
+  // (no Tseitin variables exist on that arm), plus the race winner.
+  if (circuit_backend) {
+    out += ",\"circuit\":{\"gate_propagations\":" +
+           std::to_string(circuit_stats.gate_propagations);
+    out += ",\"justification_decisions\":" +
+           std::to_string(circuit_stats.justification_decisions);
+    out += ",\"decisions\":" + std::to_string(circuit_stats.decisions);
+    out += ",\"conflicts\":" + std::to_string(circuit_stats.conflicts);
+    out += ",\"propagations\":" + std::to_string(circuit_stats.propagations);
+    out += ",\"max_frontier\":" + std::to_string(circuit_stats.max_frontier);
+    if (race_winner != nullptr) {
+      out += ",\"winner\":\"";
+      out += race_winner;
+      out += '"';
+    }
     out += '}';
   }
   // DRAT proof report (PR 7): where the derivation went and whether it is
@@ -470,8 +526,9 @@ ServerResponse SolveServer::process(ServerRequest& request,
   if (want_proof && request.backend != SolveBackend::kSingle) {
     response.error =
         "proof= requires backend=sequential: a portfolio race's winner "
-        "depends on wall-clock timing and shared clauses, so it has no "
-        "single-solver DRAT derivation";
+        "depends on wall-clock timing and shared clauses, and the circuit "
+        "backends derive learnt constraints from implicit gate clauses the "
+        "checker never sees, so neither has a checkable DRAT derivation";
     response.seconds = watch.seconds();
     return response;
   }
@@ -559,7 +616,10 @@ ServerResponse SolveServer::process(ServerRequest& request,
       cnf::SimplifyResult simplified;
       const cnf::Cnf* to_solve = &built.formula;
       bool proved_unsat = false;
-      if (request.simplify.value_or(options_.default_simplify)) {
+      // The circuit backends never touch the CNF, so the CNF preprocessor
+      // would be pure wasted work on those requests.
+      if (!is_circuit_backend(request.backend) &&
+          request.simplify.value_or(options_.default_simplify)) {
         cnf::SimplifyParams sparams = options_.simplify_params;
         sparams.proof = proof.has_value() ? &*proof : nullptr;
         simplified = cnf::simplify(built.formula, sparams);
@@ -589,6 +649,31 @@ ServerResponse SolveServer::process(ServerRequest& request,
         response.status = solver.solve(limits);
         solver.set_proof(nullptr);  // the tracer dies with this request
         response.stats = solver.stats();
+        if (response.status == sat::Status::kSat)
+          response.model_size = built.witness_units;
+      } else if (request.backend == SolveBackend::kCircuit) {
+        sat::CircuitSolver csolver(
+            sat::CircuitSolverConfig::from_cnf(options_.solver));
+        csolver.load(built.circuit);
+        response.status = csolver.solve(limits);
+        response.circuit_stats = csolver.stats();
+        response.circuit_backend = true;
+        if (response.status == sat::Status::kSat)
+          response.model_size = built.witness_units;
+      } else if (request.backend == SolveBackend::kCircuitRace) {
+        sat::CircuitRaceOptions ropt;
+        ropt.solver = options_.solver;
+        ropt.circuit = sat::CircuitSolverConfig::from_cnf(options_.solver);
+        ropt.limits = limits;
+        const auto r = sat::solve_circuit_race(built.circuit, ropt);
+        response.status = r.status;
+        response.stats = r.cnf_stats;
+        response.circuit_stats = r.circuit_stats;
+        response.circuit_backend = true;
+        response.race_winner =
+            r.winner == sat::CircuitRaceResult::Arm::kCircuit ? "circuit"
+            : r.winner == sat::CircuitRaceResult::Arm::kCnf   ? "cnf"
+                                                              : "none";
         if (response.status == sat::Status::kSat)
           response.model_size = built.witness_units;
       } else {
@@ -730,8 +815,13 @@ std::optional<ServerRequest> SolveServer::parse_request(
         request.backend = SolveBackend::kSingle;
       } else if (value == "portfolio") {
         request.backend = SolveBackend::kPortfolio;
+      } else if (value == "circuit") {
+        request.backend = SolveBackend::kCircuit;
+      } else if (value == "circuit-race") {
+        request.backend = SolveBackend::kCircuitRace;
       } else {
-        error = "backend must be sequential or portfolio";
+        error = "backend must be sequential, portfolio, circuit or "
+                "circuit-race";
         return std::nullopt;
       }
     } else if (key == "portfolio") {

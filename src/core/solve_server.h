@@ -125,6 +125,14 @@ struct ServerResponse {
   cnf::SimplifyStats simplify_stats;
   bool has_expect = false;
   bool expect_ok = true;
+  /// Circuit-native backend report (backend=circuit | circuit-race):
+  /// rendered as a "circuit" JSON block with gate propagations,
+  /// justification decisions and frontier gauges. For circuit-race, `stats`
+  /// above carries the CNF arm's counters and `race_winner` names the arm
+  /// that produced the verdict ("circuit" | "cnf" | "none").
+  bool circuit_backend = false;
+  sat::CircuitStats circuit_stats;
+  const char* race_winner = nullptr;  ///< non-null only for circuit-race
   /// Proof report (`proof=` requests only): where the DRAT stream went,
   /// how many add/delete lines were emitted, and whether it is a complete
   /// refutation (verdict was UNSAT; SAT/UNKNOWN leave a truncated trace).

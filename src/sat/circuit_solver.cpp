@@ -1,0 +1,1033 @@
+/// \file circuit_solver.cpp
+/// Circuit-native CDCL search over AIG nodes. See circuit_solver.h for the
+/// data model (implicit gate clauses C1/C2/C3, justification frontier, goal
+/// clause) and the SAT exit condition this file enforces.
+
+#include "sat/circuit_solver.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "aig/simulate.h"
+#include "common/check.h"
+#include "common/luby.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace csat::sat {
+
+namespace {
+
+/// Sentinel returned by pick_decision when the search is complete.
+constexpr Lit kNoLit{0xFFFFFFFFu};
+
+}  // namespace
+
+CircuitSolver::CircuitSolver(CircuitSolverConfig config)
+    : config_(config) {}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+void CircuitSolver::load(const aig::Aig& g) {
+  reset();
+  num_nodes_ = g.num_nodes();
+  const std::size_t n = num_nodes_;
+  value_.assign(2 * n, kUnknown);
+  phase_.assign(n, kFalse);
+  level_.assign(n, 0);
+  reason_.assign(n, Reason::none());
+  activity_.assign(n, 0.0);
+  seen_.assign(n, 0);
+  in_frontier_.assign(n, 0);
+  is_gate_.assign(n, 0);
+  fanin0_.assign(n, Lit{});
+  fanin1_.assign(n, Lit{});
+  lbd_stamp_.assign(n + 2, 0);
+  pi_nodes_ = g.pis();
+
+  // Flatten the live PO cone: aig::Lit and cnf::Lit share the
+  // (node << 1) | complement encoding, so fanins transfer by raw value.
+  const std::vector<std::uint32_t> live = g.live_ands();
+  for (const std::uint32_t node : live) {
+    is_gate_[node] = 1;
+    fanin0_[node] = Lit(g.fanin0(node).raw);
+    fanin1_[node] = Lit(g.fanin1(node).raw);
+  }
+
+  // CSR fanout lists over live gates (count, prefix-sum, fill).
+  fanout_off_.assign(n + 1, 0);
+  for (const std::uint32_t node : live) {
+    ++fanout_off_[fanin0_[node].var() + 1];
+    ++fanout_off_[fanin1_[node].var() + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) fanout_off_[i] += fanout_off_[i - 1];
+  fanout_.assign(fanout_off_[n], 0);
+  std::vector<std::uint32_t> cursor(fanout_off_.begin(),
+                                    fanout_off_.end() - 1);
+  for (const std::uint32_t node : live) {
+    fanout_[cursor[fanin0_[node].var()]++] = node;
+    fanout_[cursor[fanin1_[node].var()]++] = node;
+  }
+
+  watch_.ensure_lists(2 * n);
+  bin_watch_.ensure_lists(2 * n);
+
+  // Phase initialization: majority vote over random-pattern signatures.
+  if (config_.simulate_phase_init && config_.phase_sim_words > 0 &&
+      !pi_nodes_.empty()) {
+    Rng rng(config_.seed);
+    std::vector<std::uint64_t> pi_words(pi_nodes_.size());
+    std::vector<std::uint32_t> ones(n, 0);
+    for (int w = 0; w < config_.phase_sim_words; ++w) {
+      for (auto& word : pi_words) word = rng.next_u64();
+      const std::vector<std::uint64_t> sim = aig::simulate_words(g, pi_words);
+      for (std::size_t i = 0; i < n; ++i)
+        ones[i] += static_cast<std::uint32_t>(std::popcount(sim[i]));
+    }
+    const auto half =
+        static_cast<std::uint32_t>(config_.phase_sim_words) * 32u;
+    for (std::size_t i = 0; i < n; ++i)
+      phase_[i] = ones[i] >= half ? kTrue : kFalse;
+    phase_[0] = kFalse;
+  }
+
+  // The constant node is FALSE at the root.
+  enqueue(Lit::make(0, true), Reason::none());
+
+  // Goal "some PO is 1", mirroring cnf::tseitin_encode's goal semantics.
+  for (const aig::Lit po : g.pos()) {
+    if (po.node() == 0) {
+      if (po.is_compl()) {
+        forced_sat_ = true;  // constant-TRUE output
+        const_true_po_ = true;
+      }
+      continue;  // constant-FALSE outputs contribute nothing
+    }
+    goal_lits_.push_back(Lit(po.raw));
+  }
+  std::sort(goal_lits_.begin(), goal_lits_.end());
+  goal_lits_.erase(std::unique(goal_lits_.begin(), goal_lits_.end()),
+                   goal_lits_.end());
+  for (std::size_t i = 0; i + 1 < goal_lits_.size(); ++i)
+    if (goal_lits_[i + 1].x == (goal_lits_[i].x ^ 1u))
+      forced_sat_ = true;  // tautological PO pair (x and !x)
+  if (!forced_sat_) {
+    if (goal_lits_.empty()) {
+      ok_ = false;  // every output is constant FALSE
+    } else if (goal_lits_.size() == 1) {
+      enqueue(goal_lits_[0], Reason::none());
+    } else if (goal_lits_.size() == 2) {
+      attach_binary(goal_lits_[0], goal_lits_[1]);
+    } else {
+      goal_cref_ = arena_.alloc(goal_lits_, /*learnt=*/false, /*lbd=*/0);
+      watch_.push((!goal_lits_[0]).x, Watcher{goal_cref_, goal_lits_[1]});
+      watch_.push((!goal_lits_[1]).x, Watcher{goal_cref_, goal_lits_[0]});
+    }
+  }
+}
+
+void CircuitSolver::reset() {
+  stats_ = CircuitStats{};
+  ok_ = true;
+  forced_sat_ = false;
+  const_true_po_ = false;
+  num_nodes_ = 0;
+  is_gate_.clear();
+  fanin0_.clear();
+  fanin1_.clear();
+  fanout_off_.clear();
+  fanout_.clear();
+  pi_nodes_.clear();
+  goal_lits_.clear();
+  goal_cref_ = kClauseRefUndef;
+  goal_sat_cache_ = 0;
+  arena_.clear();
+  learnt_refs_.clear();
+  watch_.clear();
+  bin_watch_.clear();
+  value_.clear();
+  phase_.clear();
+  level_.clear();
+  reason_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  bin_qhead_ = gate_qhead_ = qhead_ = 0;
+  activity_.clear();
+  var_inc_ = 1.0;
+  clause_inc_ = 1.0;
+  frontier_.clear();
+  in_frontier_.clear();
+  seen_.clear();
+  analyze_clear_.clear();
+  reason_scratch_.clear();
+  conflict_scratch_.clear();
+  learnt_.clear();
+  lbd_stamp_.clear();
+  lbd_gen_ = 0;
+  conflicts_at_restart_ = 0;
+  luby_index_ = 0;
+  luby_budget_ = 0;
+  reduce_budget_ = 0;
+  reduce_count_ = 0;
+  witness_.clear();
+  node_values_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Assignment and propagation
+// ---------------------------------------------------------------------------
+
+void CircuitSolver::enqueue(Lit l, Reason reason) {
+  CSAT_DCHECK(value(l) == kUnknown);
+  value_[l.x] = kTrue;
+  value_[l.x ^ 1u] = kFalse;
+  const std::uint32_t v = l.var();
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+CircuitSolver::Conflict CircuitSolver::conflict_found(Conflict c) {
+  // Every literal between a propagation head and the trail end was enqueued
+  // at the current decision level (each decision starts from a fixpoint),
+  // so the coming non-chronological backtrack unassigns all of them and
+  // parking the heads at the trail end is safe.
+  bin_qhead_ = gate_qhead_ = qhead_ = trail_.size();
+  return c;
+}
+
+CircuitSolver::Conflict CircuitSolver::eval_gate(std::uint32_t n) {
+  const Lit g = Lit::make(n, false);
+  const Lit a = fanin0_[n];
+  const Lit b = fanin1_[n];
+  const std::uint8_t vg = var_value(n);
+  const std::uint8_t va = value(a);
+  const std::uint8_t vb = value(b);
+  if (vg == kTrue) {
+    // C1 = (!g, a), C2 = (!g, b): a true gate forces both fanins.
+    if (va == kFalse) return {kGateC1, {}, {}, n};
+    if (vb == kFalse) return {kGateC2, {}, {}, n};
+    if (va == kUnknown) {
+      enqueue(a, Reason::gate(kGateC1, n));
+      ++stats_.gate_propagations;
+    }
+    // Re-read b: with a degenerate gate (fanin0 and fanin1 over the same
+    // node) the enqueue above may have assigned it.
+    if (value(b) == kUnknown) {
+      enqueue(b, Reason::gate(kGateC2, n));
+      ++stats_.gate_propagations;
+    }
+    return {};
+  }
+  if (vg == kFalse) {
+    // C3 = (g, !a, !b): a false gate with one true fanin forces the other
+    // fanin false; two true fanins falsify C3.
+    if (va == kTrue && vb == kTrue) return {kGateC3, {}, {}, n};
+    if (va == kTrue && vb == kUnknown) {
+      enqueue(!b, Reason::gate(kGateC3, n));
+      ++stats_.gate_propagations;
+    } else if (vb == kTrue && va == kUnknown) {
+      enqueue(!a, Reason::gate(kGateC3, n));
+      ++stats_.gate_propagations;
+    }
+    return {};
+  }
+  // Gate unassigned: backward C1/C2 (false fanin kills the gate) or forward
+  // C3 (two true fanins force it).
+  if (va == kFalse) {
+    enqueue(!g, Reason::gate(kGateC1, n));
+    ++stats_.gate_propagations;
+  } else if (vb == kFalse) {
+    enqueue(!g, Reason::gate(kGateC2, n));
+    ++stats_.gate_propagations;
+  } else if (va == kTrue && vb == kTrue) {
+    enqueue(g, Reason::gate(kGateC3, n));
+    ++stats_.gate_propagations;
+  }
+  return {};
+}
+
+CircuitSolver::Conflict CircuitSolver::propagate() {
+  for (;;) {
+    // Binary learnt clauses drain to fixpoint first — cheapest per literal
+    // and most likely to finish a conflict early.
+    if (bin_qhead_ < trail_.size()) {
+      const Lit p = trail_[bin_qhead_++];
+      ++stats_.propagations;
+      for (const Lit q : bin_watch_[p.x]) {
+        const std::uint8_t v = value(q);
+        if (v == kTrue) continue;
+        if (v == kFalse) return conflict_found({kClauseRefBinary, q, !p, 0});
+        enqueue(q, Reason::binary(!p));
+        ++stats_.binary_props;
+      }
+      continue;
+    }
+    // One gate literal: re-evaluate the node's own gate, then every gate it
+    // feeds. This is where frontier candidates are discovered.
+    if (gate_qhead_ < trail_.size()) {
+      const Lit p = trail_[gate_qhead_++];
+      const std::uint32_t node = p.var();
+      if (is_gate_[node] != 0) {
+        if (p.sign() && value(fanin0_[node]) == kUnknown &&
+            value(fanin1_[node]) == kUnknown)
+          frontier_push(node);
+        const Conflict c = eval_gate(node);
+        if (!c.is_none()) return conflict_found(c);
+      }
+      const std::uint32_t end = fanout_off_[node + 1];
+      for (std::uint32_t k = fanout_off_[node]; k < end; ++k) {
+        const Conflict c = eval_gate(fanout_[k]);
+        if (!c.is_none()) return conflict_found(c);
+      }
+      continue;
+    }
+    // One long-clause literal (learnt clauses + the goal clause): the flat
+    // two-watched-literal walk with blocker skip and keep-compaction.
+    if (qhead_ < trail_.size()) {
+      const Lit p = trail_[qhead_++];
+      const std::size_t li = p.x;
+      const auto& h = watch_.head(li);
+      const std::uint32_t off = h.offset;
+      const std::uint32_t n = h.size;
+      Watcher* ws = watch_.data() + off;
+      std::uint32_t kept = 0;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        const Watcher w = ws[k];
+        if (value(w.blocker) == kTrue) {
+          ws[kept++] = w;
+          continue;
+        }
+        auto c = arena_[w.cref];
+        if (c[0] == !p) {
+          c[0] = c[1];
+          c[1] = !p;
+        }
+        CSAT_DCHECK(c[1] == !p);
+        const Lit first = c[0];
+        const Watcher keep{w.cref, first};
+        if (first != w.blocker && value(first) == kTrue) {
+          ws[kept++] = keep;
+          continue;
+        }
+        bool moved = false;
+        auto lits = c.lits();
+        for (std::uint32_t m = 2; m < c.size(); ++m) {
+          if (value(lits[m]) != kFalse) {
+            c[1] = lits[m];
+            lits[m] = !p;
+            watch_.push((!c[1]).x, Watcher{w.cref, first});
+            ws = watch_.data() + off;  // push may move the buffer
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        ws[kept++] = keep;
+        if (value(first) == kFalse) {
+          // Conflict: preserve the unexamined tail before truncating.
+          for (std::uint32_t m = k + 1; m < n; ++m) ws[kept++] = ws[m];
+          watch_.set_size(li, kept);
+          return conflict_found({w.cref, {}, {}, 0});
+        }
+        enqueue(first, Reason::clause(w.cref));
+      }
+      watch_.set_size(li, kept);
+      continue;
+    }
+    return {};
+  }
+}
+
+void CircuitSolver::backtrack(std::uint32_t target) {
+  if (decision_level() <= target) return;
+  const std::size_t limit = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i-- > limit;) {
+    const Lit l = trail_[i];
+    const std::uint32_t v = l.var();
+    if (config_.phase_saving) phase_[v] = l.sign() ? kFalse : kTrue;
+    value_[l.x] = kUnknown;
+    value_[l.x ^ 1u] = kUnknown;
+    reason_[v] = Reason::none();
+    // A fanin going unassigned can re-expose a gate (assigned false below
+    // the backtrack target) as unjustified: if its other fanin is also
+    // unknown now, it re-enters the frontier. The last such unassignment
+    // along the trail sees both fanins unknown, so the scan is complete.
+    const std::uint32_t end = fanout_off_[v + 1];
+    for (std::uint32_t k = fanout_off_[v]; k < end; ++k) {
+      const std::uint32_t gate = fanout_[k];
+      if (is_frontier(gate)) frontier_push(gate);
+    }
+  }
+  trail_.resize(limit);
+  trail_lim_.resize(target);
+  bin_qhead_ = std::min(bin_qhead_, limit);
+  gate_qhead_ = std::min(gate_qhead_, limit);
+  qhead_ = std::min(qhead_, limit);
+}
+
+// ---------------------------------------------------------------------------
+// Justification frontier and decisions
+// ---------------------------------------------------------------------------
+
+bool CircuitSolver::is_frontier(std::uint32_t n) const {
+  return is_gate_[n] != 0 && value_[n << 1] == kFalse &&
+         value(fanin0_[n]) == kUnknown && value(fanin1_[n]) == kUnknown;
+}
+
+void CircuitSolver::frontier_push(std::uint32_t n) {
+  if (in_frontier_[n] != 0) return;  // already has a heap entry
+  in_frontier_[n] = 1;
+  ++stats_.frontier_inserts;
+  frontier_.push_back(FrontierEntry{activity_[n], n});
+  std::push_heap(frontier_.begin(), frontier_.end(),
+                 [](const FrontierEntry& x, const FrontierEntry& y) {
+                   return x.act < y.act || (x.act == y.act && x.gate < y.gate);
+                 });
+}
+
+std::uint32_t CircuitSolver::frontier_pop() {
+  std::pop_heap(frontier_.begin(), frontier_.end(),
+                [](const FrontierEntry& x, const FrontierEntry& y) {
+                  return x.act < y.act || (x.act == y.act && x.gate < y.gate);
+                });
+  const std::uint32_t n = frontier_.back().gate;
+  frontier_.pop_back();
+  in_frontier_[n] = 0;
+  return n;
+}
+
+bool CircuitSolver::goal_satisfied() {
+  if (goal_sat_cache_ < goal_lits_.size() &&
+      value(goal_lits_[goal_sat_cache_]) == kTrue)
+    return true;
+  for (std::size_t i = 0; i < goal_lits_.size(); ++i) {
+    if (value(goal_lits_[i]) == kTrue) {
+      goal_sat_cache_ = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+Lit CircuitSolver::pick_decision() {
+  if (!goal_satisfied()) {
+    Lit best{};
+    double best_act = -1.0;
+    bool found = false;
+    for (const Lit l : goal_lits_) {
+      if (value(l) != kUnknown) continue;
+      const double act = activity_[l.var()];
+      if (!found || act > best_act) {
+        best = l;
+        best_act = act;
+        found = true;
+      }
+    }
+    // At a propagation fixpoint an unsatisfied goal clause has at least two
+    // unassigned literals: one would have been unit-propagated, zero would
+    // have conflicted.
+    CSAT_CHECK_MSG(found, "circuit_solver: unsatisfied goal with no branch");
+    ++stats_.goal_decisions;
+    return best;
+  }
+  if (stats_.max_frontier < frontier_.size())
+    stats_.max_frontier = frontier_.size();
+  while (!frontier_.empty()) {
+    const std::uint32_t n = frontier_pop();
+    if (!is_frontier(n)) continue;  // stale candidate, dropped lazily
+    ++stats_.justification_decisions;
+    // Justify g = 0 by deciding one fanin false; prefer the fanin whose
+    // saved (simulation-seeded) phase already points false.
+    const Lit a = fanin0_[n];
+    const Lit b = fanin1_[n];
+    const auto phase_false = [this](Lit l) {
+      return phase_[l.var()] == (l.sign() ? kTrue : kFalse);
+    };
+    const Lit target = (!phase_false(a) && phase_false(b)) ? b : a;
+    return !target;
+  }
+  return kNoLit;  // goal satisfied, every false gate justified: SAT
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis
+// ---------------------------------------------------------------------------
+
+std::span<const Lit> CircuitSolver::reason_lits(Lit p, const Reason& r) {
+  reason_scratch_.clear();
+  reason_scratch_.push_back(p);
+  if (r.is_binary()) {
+    reason_scratch_.push_back(Lit(r.aux));
+  } else if (r.is_gate()) {
+    const std::uint32_t n = r.aux;
+    const Lit g = Lit::make(n, false);
+    const Lit a = fanin0_[n];
+    const Lit b = fanin1_[n];
+    const auto push_others = [this, p](std::initializer_list<Lit> lits) {
+      for (const Lit l : lits)
+        if (l != p) reason_scratch_.push_back(l);
+    };
+    if (r.cref == kGateC1)
+      push_others({!g, a});
+    else if (r.cref == kGateC2)
+      push_others({!g, b});
+    else
+      push_others({g, !a, !b});
+    // A degenerate gate (fanin0 == fanin1) can shrink C3 to two literals.
+    CSAT_DCHECK(reason_scratch_.size() >= 2);
+  } else {
+    CSAT_DCHECK(r.is_clause());
+    auto c = arena_[r.cref];
+    CSAT_DCHECK(c[0] == p);
+    for (std::uint32_t i = 1; i < c.size(); ++i)
+      reason_scratch_.push_back(c[i]);
+  }
+  return reason_scratch_;
+}
+
+std::span<const Lit> CircuitSolver::conflict_lits(const Conflict& confl) {
+  conflict_scratch_.clear();
+  if (confl.cref == kClauseRefBinary) {
+    conflict_scratch_.push_back(confl.a);
+    conflict_scratch_.push_back(confl.b);
+  } else if (confl.cref >= kGateC3) {
+    const std::uint32_t n = confl.gate;
+    const Lit g = Lit::make(n, false);
+    if (confl.cref == kGateC1) {
+      conflict_scratch_.push_back(!g);
+      conflict_scratch_.push_back(fanin0_[n]);
+    } else if (confl.cref == kGateC2) {
+      conflict_scratch_.push_back(!g);
+      conflict_scratch_.push_back(fanin1_[n]);
+    } else {
+      conflict_scratch_.push_back(g);
+      conflict_scratch_.push_back(!fanin0_[n]);
+      conflict_scratch_.push_back(!fanin1_[n]);
+    }
+  } else {
+    auto c = arena_[confl.cref];
+    for (std::uint32_t i = 0; i < c.size(); ++i)
+      conflict_scratch_.push_back(c[i]);
+  }
+  return conflict_scratch_;
+}
+
+std::uint32_t CircuitSolver::compute_lbd(std::span<const Lit> lits) {
+  if (++lbd_gen_ == 0) {  // generation wrap: invalidate every stamp
+    std::fill(lbd_stamp_.begin(), lbd_stamp_.end(), 0u);
+    lbd_gen_ = 1;
+  }
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const std::uint32_t lev = level_[l.var()];
+    if (lev == 0) continue;
+    if (lbd_stamp_[lev] != lbd_gen_) {
+      lbd_stamp_[lev] = lbd_gen_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void CircuitSolver::bump_var(std::uint32_t v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    // Frontier entries carry activity snapshots; compress them by the same
+    // factor so relative order against fresh pushes survives the rescale.
+    for (FrontierEntry& e : frontier_) e.act *= 1e-100;
+  }
+}
+
+void CircuitSolver::analyze(const Conflict& confl, std::vector<Lit>& learnt,
+                            std::uint32_t& bt_level, std::uint32_t& lbd) {
+  learnt.clear();
+  learnt.push_back(Lit{});  // slot 0: the asserting literal, filled below
+  std::uint32_t counter = 0;
+  const auto handle = [&](Lit q) {
+    const std::uint32_t v = q.var();
+    if (seen_[v] != 0 || level_[v] == 0) return;
+    seen_[v] = 1;
+    analyze_clear_.push_back(q);
+    bump_var(v);
+    if (level_[v] >= decision_level())
+      ++counter;
+    else
+      learnt.push_back(q);
+  };
+  const auto bump_clause = [this](ClauseRef ref) {
+    auto c = arena_[ref];
+    if (!c.learnt()) return;
+    c.set_activity(c.activity() + static_cast<float>(clause_inc_));
+    if (c.activity() > 1e20f) {
+      for (const ClauseRef lr : learnt_refs_) {
+        auto lc = arena_[lr];
+        lc.set_activity(lc.activity() * 1e-20f);
+      }
+      clause_inc_ *= 1e-20;
+    }
+  };
+
+  if (confl.cref < kGateC3) bump_clause(confl.cref);
+  std::span<const Lit> clause = conflict_lits(confl);
+  std::size_t start = 0;
+  std::size_t idx = trail_.size();
+  Lit p{};
+  for (;;) {
+    for (std::size_t j = start; j < clause.size(); ++j) handle(clause[j]);
+    // Walk the trail back to the next marked literal (always found: the
+    // conflict clause contains a current-level literal, and resolution only
+    // removes one marked current-level literal at a time).
+    while (seen_[trail_[--idx].var()] == 0) {
+    }
+    p = trail_[idx];
+    seen_[p.var()] = 0;
+    --counter;
+    if (counter == 0) break;  // p is the first UIP
+    const Reason& r = reason_[p.var()];
+    if (r.is_clause()) bump_clause(r.cref);
+    clause = reason_lits(p, r);
+    start = 1;  // skip the implied literal itself
+  }
+  learnt[0] = !p;
+
+  // Basic self-subsumption minimization: drop a literal whose whole reason
+  // is inside the clause (or at level 0). Reasons are acyclic (antecedents
+  // precede on the trail), so checking against the original seen_ set is
+  // sound even when several literals drop together.
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const Lit q = learnt[i];
+    const Reason& r = reason_[q.var()];
+    bool redundant = !r.is_none();
+    if (redundant) {
+      const std::span<const Lit> rl = reason_lits(!q, r);
+      for (std::size_t j = 1; j < rl.size(); ++j) {
+        const std::uint32_t v = rl[j].var();
+        if (level_[v] > 0 && seen_[v] == 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) learnt[out++] = q;
+  }
+  learnt.resize(out);
+
+  if (learnt.size() == 1) {
+    bt_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i)
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+  lbd = compute_lbd(learnt);
+
+  for (const Lit l : analyze_clear_) seen_[l.var()] = 0;
+  analyze_clear_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Clause database maintenance
+// ---------------------------------------------------------------------------
+
+void CircuitSolver::attach_binary(Lit a, Lit b) {
+  bin_watch_.push((!a).x, b);
+  bin_watch_.push((!b).x, a);
+}
+
+bool CircuitSolver::reason_locked(ClauseRef cref) {
+  auto c = arena_[cref];
+  const Lit first = c[0];
+  if (value(first) != kTrue) return false;
+  const Reason& r = reason_[first.var()];
+  return r.is_clause() && r.cref == cref;
+}
+
+void CircuitSolver::reduce_db() {
+  ++stats_.reductions;
+  ++reduce_count_;
+  reduce_budget_ = stats_.conflicts + config_.reduce_first +
+                   reduce_count_ * config_.reduce_increment;
+
+  std::vector<ClauseRef> deletable;
+  deletable.reserve(learnt_refs_.size());
+  for (const ClauseRef ref : learnt_refs_) {
+    auto c = arena_[ref];
+    if (c.garbage() || c.protect() || reason_locked(ref)) continue;
+    deletable.push_back(ref);
+  }
+  std::sort(deletable.begin(), deletable.end(),
+            [this](ClauseRef x, ClauseRef y) {
+              auto cx = arena_[x];
+              auto cy = arena_[y];
+              if (cx.lbd() != cy.lbd()) return cx.lbd() > cy.lbd();
+              if (cx.activity() != cy.activity())
+                return cx.activity() < cy.activity();
+              return x < y;
+            });
+  const std::size_t kill = deletable.size() / 2;
+  for (std::size_t i = 0; i < kill; ++i) {
+    arena_.mark_garbage(deletable[i]);
+    ++stats_.removed;
+  }
+  if (kill > 0) {
+    for (std::size_t li = 0; li < watch_.num_lists(); ++li) {
+      auto ws = watch_[li];
+      std::uint32_t kept = 0;
+      for (const Watcher& w : ws)
+        if (!arena_[w.cref].garbage()) ws[kept++] = w;
+      watch_.set_size(li, kept);
+    }
+    std::erase_if(learnt_refs_,
+                  [this](ClauseRef r) { return arena_[r].garbage(); });
+  }
+
+  if (arena_.size_words() > 0 &&
+      arena_.garbage_words() * 4 >= arena_.size_words())
+    collect_garbage();
+  if (watch_.total_slots() > 0 &&
+      watch_.dead_slots() * 4 >= watch_.total_slots())
+    watch_.compact(
+        [this](const Watcher& w) { return value(w.blocker) == kTrue; });
+  if (bin_watch_.total_slots() > 0 &&
+      bin_watch_.dead_slots() * 4 >= bin_watch_.total_slots())
+    bin_watch_.compact();
+}
+
+void CircuitSolver::collect_garbage() {
+  ++stats_.arena_gcs;
+  arena_.compact();
+  for (std::size_t li = 0; li < watch_.num_lists(); ++li)
+    for (Watcher& w : watch_[li]) w.cref = arena_.forwarded(w.cref);
+  for (const Lit l : trail_) {
+    Reason& r = reason_[l.var()];
+    if (r.is_clause()) r.cref = arena_.forwarded(r.cref);
+  }
+  for (ClauseRef& r : learnt_refs_) r = arena_.forwarded(r);
+  if (goal_cref_ != kClauseRefUndef) goal_cref_ = arena_.forwarded(goal_cref_);
+  arena_.compact_release();
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+Status CircuitSolver::finish_sat() {
+  // Complete the unassigned PIs from saved phases and evaluate the whole
+  // network. With the goal satisfied and every false gate justified, the
+  // evaluation reproduces every assigned value (checked below in debug
+  // builds), so this is a real model — not just a consistent-looking trail.
+  witness_.assign(pi_nodes_.size(), false);
+  node_values_.assign(num_nodes_, 0);
+  for (std::size_t i = 0; i < pi_nodes_.size(); ++i) {
+    const std::uint32_t pi = pi_nodes_[i];
+    const std::uint8_t v = var_value(pi);
+    const bool val = v == kUnknown ? phase_[pi] == kTrue : v == kTrue;
+    witness_[i] = val;
+    node_values_[pi] = val ? 1u : 0u;
+  }
+  for (std::uint32_t node = 1; node < num_nodes_; ++node) {
+    if (is_gate_[node] == 0) continue;
+    const Lit a = fanin0_[node];
+    const Lit b = fanin1_[node];
+    const std::uint8_t va = node_values_[a.var()] ^ (a.sign() ? 1u : 0u);
+    const std::uint8_t vb = node_values_[b.var()] ^ (b.sign() ? 1u : 0u);
+    node_values_[node] = va & vb;
+  }
+#ifndef NDEBUG
+  for (std::uint32_t node = 0; node < num_nodes_; ++node) {
+    if (var_value(node) == kUnknown) continue;
+    if (is_gate_[node] == 0 && std::find(pi_nodes_.begin(), pi_nodes_.end(),
+                                         node) == pi_nodes_.end())
+      continue;  // the constant node; dead nodes are never assigned
+    CSAT_DCHECK(node_values_[node] == var_value(node));
+  }
+#endif
+  bool goal_ok = const_true_po_;
+  for (const Lit l : goal_lits_)
+    goal_ok = goal_ok || (node_values_[l.var()] ^ (l.sign() ? 1u : 0u)) != 0;
+  CSAT_CHECK_MSG(goal_ok, "circuit_solver: SAT completion misses the goal");
+  backtrack(0);
+  return Status::kSat;
+}
+
+Status CircuitSolver::search(const Limits& limits) {
+  Stopwatch watch;
+  const bool timed = std::isfinite(limits.max_seconds);
+  constexpr auto kNoBudget = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t conflict_budget =
+      limits.max_conflicts == kNoBudget ? kNoBudget
+                                        : stats_.conflicts + limits.max_conflicts;
+  const std::uint64_t decision_budget =
+      limits.max_decisions == kNoBudget ? kNoBudget
+                                        : stats_.decisions + limits.max_decisions;
+  const auto out_of_budget = [&] {
+    return stats_.conflicts >= conflict_budget ||
+           stats_.decisions >= decision_budget ||
+           (timed && watch.seconds() >= limits.max_seconds);
+  };
+  if (luby_budget_ == 0)
+    luby_budget_ = luby(++luby_index_) * config_.luby_unit;
+  if (reduce_budget_ == 0) reduce_budget_ = config_.reduce_first;
+
+  for (;;) {
+    if (limits.terminate != nullptr &&
+        limits.terminate->load(std::memory_order_relaxed)) {
+      backtrack(0);
+      return Status::kUnknown;
+    }
+    const Conflict confl = propagate();
+    if (!confl.is_none()) {
+      ++stats_.conflicts;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return Status::kUnsat;
+      }
+      std::uint32_t bt_level = 0;
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt_, bt_level, lbd);
+      backtrack(bt_level);
+      ++stats_.learned;
+      stats_.learnt_literals += learnt_.size();
+      if (learnt_.size() == 1) {
+        enqueue(learnt_[0], Reason::none());
+      } else if (learnt_.size() == 2) {
+        attach_binary(learnt_[0], learnt_[1]);
+        enqueue(learnt_[0], Reason::binary(learnt_[1]));
+      } else {
+        const ClauseRef ref = arena_.alloc(learnt_, /*learnt=*/true, lbd);
+        auto c = arena_[ref];
+        c.set_activity(static_cast<float>(clause_inc_));
+        if (lbd <= config_.glue_keep) c.set_protect();
+        learnt_refs_.push_back(ref);
+        watch_.push((!learnt_[0]).x, Watcher{ref, learnt_[1]});
+        watch_.push((!learnt_[1]).x, Watcher{ref, learnt_[0]});
+        enqueue(learnt_[0], Reason::clause(ref));
+      }
+      var_inc_ /= config_.var_decay;
+      clause_inc_ /= config_.clause_decay;
+      if (stats_.conflicts >= reduce_budget_) reduce_db();
+      if (out_of_budget()) {
+        backtrack(0);
+        return Status::kUnknown;
+      }
+      continue;
+    }
+    // Propagation fixpoint.
+    if (stats_.conflicts - conflicts_at_restart_ >= luby_budget_) {
+      ++stats_.restarts;
+      conflicts_at_restart_ = stats_.conflicts;
+      luby_budget_ = luby(++luby_index_) * config_.luby_unit;
+      backtrack(0);
+      continue;
+    }
+    if (out_of_budget()) {
+      backtrack(0);
+      return Status::kUnknown;
+    }
+    const Lit d = pick_decision();
+    if (d == kNoLit) return finish_sat();
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    if (decision_level() > stats_.max_decision_level)
+      stats_.max_decision_level = decision_level();
+    enqueue(d, Reason::none());
+  }
+}
+
+Status CircuitSolver::solve(const Limits& limits) {
+  if (!ok_) return Status::kUnsat;
+  if (forced_sat_) return finish_sat();
+  return search(limits);
+}
+
+// ---------------------------------------------------------------------------
+// Debug walker
+// ---------------------------------------------------------------------------
+
+bool CircuitSolver::check_justification() {
+  bool ok = true;
+  const auto fail = [&ok](const char* what, std::uint64_t a, std::uint64_t b) {
+    std::fprintf(stderr,
+                 "check_justification: %s (%llu, %llu)\n", what,
+                 static_cast<unsigned long long>(a),
+                 static_cast<unsigned long long>(b));
+    ok = false;
+  };
+  const std::size_t n = num_nodes_;
+
+  // Value slots vs trail.
+  std::vector<std::uint8_t> on_trail(n, 0);
+  for (const Lit l : trail_) {
+    if (l.var() >= n) {
+      fail("trail literal out of range", l.x, 0);
+      continue;
+    }
+    if (value(l) != kTrue) fail("trail literal not true", l.x, 0);
+    if (on_trail[l.var()] != 0) fail("variable twice on trail", l.var(), 0);
+    on_trail[l.var()] = 1;
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint8_t pos = value_[2 * v];
+    const std::uint8_t neg = value_[2 * v + 1];
+    if ((pos == kUnknown) != (neg == kUnknown))
+      fail("half-assigned variable", v, 0);
+    if (pos != kUnknown && pos == neg) fail("contradictory value slots", v, 0);
+    if ((pos != kUnknown) != (on_trail[v] != 0))
+      fail("assignment without trail entry", v, 0);
+  }
+
+  // Frontier flag <-> heap agreement.
+  std::vector<std::uint8_t> heap_count(n, 0);
+  for (const FrontierEntry& e : frontier_) {
+    if (e.gate >= n || is_gate_[e.gate] == 0) {
+      fail("frontier entry is not a gate", e.gate, 0);
+      continue;
+    }
+    if (heap_count[e.gate] != 0) fail("gate twice in frontier heap", e.gate, 0);
+    heap_count[e.gate] = 1;
+  }
+  for (std::uint32_t v = 0; v < n; ++v)
+    if ((in_frontier_[v] != 0) != (heap_count[v] != 0))
+      fail("frontier flag disagrees with heap", v, heap_count[v]);
+
+  // Per-gate fixpoint invariants. Only meaningful when no propagation is
+  // pending (budgeted exits can leave an asserted unit unprocessed at the
+  // root) and no root conflict has been established (a level-0 conflict
+  // legitimately halts propagation mid-stream); the structural checks above
+  // and below hold regardless.
+  const bool fixpoint = ok_ && bin_qhead_ == trail_.size() &&
+                        gate_qhead_ == trail_.size() &&
+                        qhead_ == trail_.size();
+  if (fixpoint) {
+    for (std::uint32_t g = 0; g < n; ++g) {
+      if (is_gate_[g] == 0) continue;
+      const std::uint8_t vg = var_value(g);
+      const std::uint8_t va = value(fanin0_[g]);
+      const std::uint8_t vb = value(fanin1_[g]);
+      if (vg == kTrue) {
+        if (va != kTrue || vb != kTrue)
+          fail("true gate with non-true fanin", g, 0);
+      } else if (vg == kFalse) {
+        if (va != kFalse && vb != kFalse) {
+          if (va == kTrue || vb == kTrue)
+            fail("false gate missed C3 propagation", g, 0);
+          else if (in_frontier_[g] == 0)
+            fail("unjustified false gate missing from frontier", g, 0);
+        }
+      } else {
+        if (va == kFalse || vb == kFalse)
+          fail("unassigned gate with false fanin", g, 0);
+        if (va == kTrue && vb == kTrue)
+          fail("unassigned gate with both fanins true", g, 0);
+      }
+    }
+  }
+
+  // Every reason re-materializes to (implied literal, false antecedents).
+  // Antecedents precede their consequence on the trail, so this holds even
+  // mid-propagation.
+  for (const Lit p : trail_) {
+    const Reason r = reason_[p.var()];
+    if (r.is_none()) continue;
+    const std::span<const Lit> lits = reason_lits(p, r);
+    if (lits.empty() || lits[0] != p) {
+      fail("reason does not imply its literal", p.x, 0);
+      continue;
+    }
+    for (std::size_t j = 1; j < lits.size(); ++j)
+      if (value(lits[j]) != kFalse)
+        fail("reason with non-false antecedent", p.x, lits[j].x);
+  }
+
+  // Long-clause watcher invariants: each live arena clause watched exactly
+  // once on each of its first two literals, every blocker inside its
+  // clause.
+  std::vector<std::uint8_t> w0(arena_.size_words(), 0);
+  std::vector<std::uint8_t> w1(arena_.size_words(), 0);
+  for (std::size_t li = 0; li < watch_.num_lists(); ++li) {
+    const Lit watched = !Lit(static_cast<std::uint32_t>(li));
+    for (const Watcher& w : watch_[li]) {
+      if (w.cref + ClauseArena::kHeaderWords > arena_.size_words()) {
+        fail("watcher out of range", li, w.cref);
+        continue;
+      }
+      auto c = arena_[w.cref];
+      if (c.garbage()) {
+        fail("watcher on garbage clause", li, w.cref);
+        continue;
+      }
+      if (c[0] == watched)
+        ++w0[w.cref];
+      else if (c[1] == watched)
+        ++w1[w.cref];
+      else
+        fail("watched literal not in first two slots", li, w.cref);
+      bool blocker_in = false;
+      for (std::uint32_t i = 0; i < c.size(); ++i)
+        blocker_in = blocker_in || c[i] == w.blocker;
+      if (!blocker_in) fail("blocker not in its clause", li, w.cref);
+    }
+  }
+  arena_.for_each_clause([&](ClauseRef ref) {
+    if (w0[ref] != 1 || w1[ref] != 1)
+      fail("clause watch slots wrong", ref,
+           static_cast<std::uint64_t>(w0[ref]) * 10 + w1[ref]);
+  });
+
+  // Binary lists are mirror-symmetric: clause {a, b} appears in both
+  // (!a)'s and (!b)'s list. Collect each entry's canonical pair keyed by
+  // which side it was found on; the two multisets must match.
+  std::vector<std::uint64_t> fwd;
+  std::vector<std::uint64_t> rev;
+  for (std::size_t li = 0; li < bin_watch_.num_lists(); ++li) {
+    const Lit u = !Lit(static_cast<std::uint32_t>(li));
+    for (const Lit v : bin_watch_[li]) {
+      const std::uint64_t lo = std::min(u.x, v.x);
+      const std::uint64_t hi = std::max(u.x, v.x);
+      const std::uint64_t key = (lo << 32) | hi;
+      if (u.x == v.x) {
+        fail("degenerate binary clause", u.x, 0);
+        continue;
+      }
+      (u.x < v.x ? fwd : rev).push_back(key);
+    }
+  }
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(rev.begin(), rev.end());
+  if (fwd != rev) fail("binary lists not mirror-symmetric", fwd.size(),
+                       rev.size());
+
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience entry point
+// ---------------------------------------------------------------------------
+
+CircuitSolveResult solve_circuit(const aig::Aig& g,
+                                 const CircuitSolverConfig& config,
+                                 const Limits& limits) {
+  CircuitSolver solver(config);
+  solver.load(g);
+  CircuitSolveResult result;
+  result.status = solver.solve(limits);
+  result.stats = solver.stats();
+  if (result.status == Status::kSat) {
+    result.witness = solver.witness();
+    result.node_values = solver.node_values();
+  }
+  return result;
+}
+
+}  // namespace csat::sat

@@ -1,0 +1,361 @@
+#ifndef CSAT_SAT_CIRCUIT_SOLVER_H
+#define CSAT_SAT_CIRCUIT_SOLVER_H
+
+/// \file circuit_solver.h
+/// Circuit-native CDCL solver: search runs directly on the AIG.
+///
+/// The variables of this solver are AIG node ids — no Tseitin encoding is
+/// ever built. Every live AND gate g = AND(a, b) contributes three
+/// *implicit* clauses that exist only as propagation rules and tagged
+/// reason/conflict handles, never as stored literals:
+///
+///   C1 = (!g, a)        g true forces a; a false forces g false
+///   C2 = (!g, b)        g true forces b; b false forces g false
+///   C3 = (g, !a, !b)    a and b true force g; g false + one true fanin
+///                       forces the other fanin false
+///
+/// Inverters are edges (fanin complement bits), so "INV propagation" is
+/// free: a literal over a node id carries the complement in its sign bit,
+/// bit-identical between aig::Lit and cnf::Lit. Learnt constraints are
+/// ordinary clauses over gate literals and live in the same flat
+/// ClauseArena the CNF solver uses, with the same two-watched-literal
+/// scheme (FlatLists) for long learnt clauses and dense lists for binary
+/// ones. The CSAT goal "some PO is 1" is the one irredundant clause in the
+/// database (unit/binary/long depending on PO count), mirroring
+/// cnf::tseitin_encode's goal semantics exactly — including the
+/// trivially-SAT (constant-true or tautological PO set) and trivially-UNSAT
+/// (no non-constant PO) short circuits — so the two backends always agree.
+///
+/// Decisions follow the justification frontier instead of a global VSIDS
+/// ranking over all variables:
+///  * while the goal clause is unsatisfied, decide an unassigned PO
+///    literal true (highest activity first);
+///  * otherwise justify the highest-activity *frontier* gate — a gate
+///    assigned false whose fanins are both unassigned — by deciding one
+///    fanin false (choosing the fanin whose saved phase already points
+///    false).
+/// Gates outside the active PO cone are never assigned by this decision
+/// rule (only learnt-clause propagation can touch them), so branching is
+/// confined to unjustified gates that actually feed the objective. The SAT
+/// exit condition is: propagation fixpoint AND goal satisfied AND frontier
+/// empty. An empty frontier alone is NOT sufficient — every assigned-false
+/// gate must be justified by a false fanin, and the goal needs a true PO;
+/// both together guarantee that completing the unassigned PIs from saved
+/// phases and evaluating the network reproduces every assigned value, which
+/// is what witness() returns and finish checks.
+///
+/// Phase initialization comes from aig/simulate random-pattern signatures:
+/// each node's saved phase starts as the majority value it takes under
+/// config.phase_sim_words * 64 random input patterns, so early decisions
+/// walk the circuit toward value combinations that random simulation says
+/// are feasible.
+///
+/// Determinism: with no wall-clock budget the solver is a pure function of
+/// (AIG, config, limits) — there are no random decisions; the RNG only
+/// seeds the simulation patterns at load().
+///
+/// Thread model: confined to one thread at a time, like Solver. The only
+/// cross-thread channel is the read-only Limits::terminate flag.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.h"
+#include "sat/arena.h"
+#include "sat/solver.h"
+#include "sat/watch.h"
+
+namespace csat::sat {
+
+/// Tunable heuristics of the circuit-native CDCL loop. Deliberately a
+/// subset of SolverConfig: the circuit arm keeps Luby restarts and skips
+/// chrono/vivification (gate clauses are implicit — there is nothing to
+/// vivify and the frontier bookkeeping assumes in-order trails).
+struct CircuitSolverConfig {
+  /// Restart after luby(i) * luby_unit conflicts.
+  std::uint32_t luby_unit = 64;
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  bool phase_saving = true;
+  /// Learnt-DB reduction cadence (same semantics as SolverConfig).
+  std::uint64_t reduce_first = 2000;
+  std::uint64_t reduce_increment = 300;
+  std::uint32_t glue_keep = 2;
+  std::uint64_t seed = 91648253;
+  /// Seed saved phases from random-pattern simulation at load(); off makes
+  /// every phase start false (the CNF solver's default_phase analogue).
+  bool simulate_phase_init = true;
+  /// 64-bit pattern words per PI for the phase-init simulation.
+  int phase_sim_words = 4;
+
+  /// Maps the shared knobs of a CNF SolverConfig (seed, restarts cadence,
+  /// decay, reduction) onto a circuit config — the pipeline/server use this
+  /// so one --preset flag steers both arms.
+  static CircuitSolverConfig from_cnf(const SolverConfig& c) {
+    CircuitSolverConfig cc;
+    cc.luby_unit = c.luby_unit;
+    cc.var_decay = c.var_decay;
+    cc.clause_decay = c.clause_decay;
+    cc.phase_saving = c.phase_saving;
+    cc.reduce_first = c.reduce_first;
+    cc.reduce_increment = c.reduce_increment;
+    cc.glue_keep = c.glue_keep;
+    cc.seed = c.seed;
+    return cc;
+  }
+};
+
+/// Monotonic search counters, zeroed by reset()/load(). The circuit twin of
+/// sat::Stats, plus the gate-level counters sat_micro reports per backend.
+struct CircuitStats {
+  std::uint64_t decisions = 0;
+  /// Decisions that justified a frontier gate (subset of decisions).
+  std::uint64_t justification_decisions = 0;
+  /// Decisions that targeted an unsatisfied goal literal (the rest).
+  std::uint64_t goal_decisions = 0;
+  std::uint64_t conflicts = 0;
+  /// Trail literals dequeued by propagation (the BCP throughput counter).
+  std::uint64_t propagations = 0;
+  /// Literals enqueued by the implicit gate rules C1/C2/C3.
+  std::uint64_t gate_propagations = 0;
+  /// Literals enqueued by binary learnt clauses.
+  std::uint64_t binary_props = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t learnt_literals = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t reductions = 0;
+  std::uint64_t arena_gcs = 0;
+  std::uint64_t max_decision_level = 0;
+  /// Gates pushed into the justification frontier (re-entries included).
+  std::uint64_t frontier_inserts = 0;
+  /// Largest frontier candidate-heap size observed at a decision — an upper
+  /// bound on the live frontier (stale entries are dropped lazily at pop).
+  std::uint64_t max_frontier = 0;
+};
+
+class CircuitSolver {
+ public:
+  explicit CircuitSolver(CircuitSolverConfig config = {});
+
+  /// Loads a CSAT instance ("some PO of g is 1"). Implies a full reset() of
+  /// any previous problem and search state; the AIG itself is not retained
+  /// (its structure is copied into flat per-node arrays).
+  void load(const aig::Aig& g);
+
+  /// Runs the circuit CDCL loop until a verdict or a budget limit.
+  /// Status::kUnknown leaves the database and stats intact at decision
+  /// level 0; a later solve() resumes the search (budgeted slicing).
+  Status solve(const Limits& limits = {});
+
+  /// Returns to the freshly-constructed state while keeping every internal
+  /// buffer's heap allocation (the Solver::reset() warm-reuse contract).
+  void reset();
+
+  /// PI assignment witnessing kSat (pis() order), valid until the next
+  /// solve()/load()/reset(). Unassigned PIs are completed from saved
+  /// phases.
+  [[nodiscard]] const std::vector<bool>& witness() const { return witness_; }
+  /// Complete 0/1 evaluation of every node under witness() (indexed by node
+  /// id; dead nodes evaluate as 0). Valid after kSat. This is the
+  /// assignment the differential tests cross-check against the Tseitin
+  /// encoding via node2var.
+  [[nodiscard]] const std::vector<std::uint8_t>& node_values() const {
+    return node_values_;
+  }
+
+  [[nodiscard]] const CircuitStats& stats() const { return stats_; }
+  [[nodiscard]] const CircuitSolverConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Debug walker (tests only; O(circuit + clause database)) — the
+  /// justification twin of Solver::check_watches(). Verifies, between
+  /// solve() calls:
+  ///  * literal value slots are pairwise consistent and match the trail;
+  ///  * every assigned gate is consistent with its fanins at fixpoint
+  ///    (true gates have both fanins true; false gates have a false fanin
+  ///    or both fanins unassigned — and in the latter case sit in the
+  ///    frontier candidate heap);
+  ///  * unassigned gates have no pending forced value (no missed
+  ///    propagation);
+  ///  * the frontier flag and heap agree;
+  ///  * every gate/binary/clause reason re-materializes to a clause whose
+  ///    first literal is the implied one and whose others are false;
+  ///  * learnt arena clauses are watched exactly once on each of their
+  ///    first two literals and binary lists are mirror-symmetric.
+  /// Returns false with a stderr note on the first violation.
+  [[nodiscard]] bool check_justification();
+
+ private:
+  enum : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+  /// Tagged ClauseRefs for the implicit gate clauses (below kClauseRefBinary
+  /// so arena refs, which are far smaller, stay unambiguous). The gate node
+  /// id rides in Reason::aux / Conflict::gate; the literal span is
+  /// re-materialized on demand by reason_lits()/conflict_lits().
+  static constexpr ClauseRef kGateC1 = 0xFFFFFFFDu;  ///< (!g, a)
+  static constexpr ClauseRef kGateC2 = 0xFFFFFFFCu;  ///< (!g, b)
+  static constexpr ClauseRef kGateC3 = 0xFFFFFFFBu;  ///< (g, !a, !b)
+
+  struct Reason {
+    ClauseRef cref = kClauseRefUndef;
+    /// Binary: the other (false) literal's Lit.x. Gate: the gate node id.
+    std::uint32_t aux = 0;
+
+    static Reason none() { return {}; }
+    static Reason clause(ClauseRef c) { return {c, 0}; }
+    static Reason binary(Lit other) { return {kClauseRefBinary, other.x}; }
+    static Reason gate(ClauseRef tag, std::uint32_t node) { return {tag, node}; }
+    [[nodiscard]] bool is_none() const { return cref == kClauseRefUndef; }
+    [[nodiscard]] bool is_binary() const { return cref == kClauseRefBinary; }
+    [[nodiscard]] bool is_gate() const {
+      return cref >= kGateC3 && cref <= kGateC1;
+    }
+    [[nodiscard]] bool is_clause() const { return cref < kGateC3; }
+  };
+
+  struct Conflict {
+    ClauseRef cref = kClauseRefUndef;
+    Lit a{};  ///< binary conflict literals
+    Lit b{};
+    std::uint32_t gate = 0;  ///< falsified gate for kGateC1/C2/C3
+
+    [[nodiscard]] bool is_none() const { return cref == kClauseRefUndef; }
+  };
+
+  /// Long-clause watcher (learnt clauses + the goal clause): same layout
+  /// and blocker semantics as Solver's flat engine.
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  /// Activity-snapshot max-heap entry of the frontier candidates. Priority
+  /// is the gate's activity at push time — stale priorities and stale
+  /// entries are both resolved lazily at pop, which keeps frontier
+  /// maintenance O(log n) per transition without a position index.
+  struct FrontierEntry {
+    double act = 0.0;
+    std::uint32_t gate = 0;
+  };
+
+  [[nodiscard]] std::uint8_t value(Lit l) const { return value_[l.x]; }
+  [[nodiscard]] std::uint8_t var_value(std::uint32_t n) const {
+    return value_[n << 1];
+  }
+  [[nodiscard]] std::uint32_t decision_level() const {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+  void enqueue(Lit l, Reason reason);
+  Conflict propagate();
+  /// Re-examines gate \p n against the current values of g/a/b, enqueuing
+  /// every forced literal; returns the falsified implicit clause if any.
+  Conflict eval_gate(std::uint32_t n);
+  Conflict conflict_found(Conflict c);
+  void backtrack(std::uint32_t target);
+
+  [[nodiscard]] bool is_frontier(std::uint32_t n) const;
+  void frontier_push(std::uint32_t n);
+  std::uint32_t frontier_pop();
+  [[nodiscard]] bool goal_satisfied();
+  Lit pick_decision();
+
+  void analyze(const Conflict& confl, std::vector<Lit>& learnt,
+               std::uint32_t& bt_level, std::uint32_t& lbd);
+  /// Materializes the reason clause of assigned literal \p p into
+  /// reason_scratch_, \p p first, and returns a view of it.
+  std::span<const Lit> reason_lits(Lit p, const Reason& r);
+  std::span<const Lit> conflict_lits(const Conflict& confl);
+  [[nodiscard]] std::uint32_t compute_lbd(std::span<const Lit> lits);
+  void bump_var(std::uint32_t v);
+
+  void attach_binary(Lit a, Lit b);
+  [[nodiscard]] bool reason_locked(ClauseRef cref);
+  void reduce_db();
+  void collect_garbage();
+
+  Status finish_sat();
+  Status search(const Limits& limits);
+
+  CircuitSolverConfig config_;
+  CircuitStats stats_;
+  bool ok_ = true;          ///< false: root-level UNSAT established
+  bool forced_sat_ = false;  ///< constant-true PO or tautological PO pair
+  bool const_true_po_ = false;  ///< some PO is the constant TRUE literal
+
+  // --- circuit structure (rebuilt by load) ---
+  std::size_t num_nodes_ = 0;
+  std::vector<std::uint8_t> is_gate_;  ///< live AND gate, per node
+  std::vector<Lit> fanin0_;            ///< per node, valid when is_gate_
+  std::vector<Lit> fanin1_;
+  /// CSR fanout lists: gates containing node n as a fanin live in
+  /// fanout_[fanout_off_[n] .. fanout_off_[n + 1]).
+  std::vector<std::uint32_t> fanout_off_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<std::uint32_t> pi_nodes_;  ///< pis() order
+  std::vector<Lit> goal_lits_;           ///< deduped non-constant PO literals
+  ClauseRef goal_cref_ = kClauseRefUndef;  ///< arena goal clause (>= 3 lits)
+  std::size_t goal_sat_cache_ = 0;  ///< last goal literal seen true
+
+  // --- clause database ---
+  ClauseArena arena_;
+  std::vector<ClauseRef> learnt_refs_;
+  FlatLists<Watcher> watch_;   ///< long clauses, indexed by falsified Lit.x
+  FlatLists<Lit> bin_watch_;   ///< binary clauses: implied literal per entry
+
+  // --- assignment ---
+  std::vector<std::uint8_t> value_;  ///< per literal (Lit.x)
+  std::vector<std::uint8_t> phase_;  ///< saved polarity per node
+  std::vector<std::uint32_t> level_;
+  std::vector<Reason> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  /// Three heads over one trail: binaries drain first (cheapest), then the
+  /// gate rules, then long learnt clauses — the circuit twin of the flat
+  /// engine's binary-first ordering.
+  std::size_t bin_qhead_ = 0;
+  std::size_t gate_qhead_ = 0;
+  std::size_t qhead_ = 0;
+
+  // --- heuristics ---
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<FrontierEntry> frontier_;    ///< binary max-heap
+  std::vector<std::uint8_t> in_frontier_;  ///< exactly the heap membership
+
+  // --- analyze scratch ---
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_clear_;
+  std::vector<Lit> reason_scratch_;
+  std::vector<Lit> conflict_scratch_;
+  std::vector<Lit> learnt_;
+  std::vector<std::uint32_t> lbd_stamp_;
+  std::uint32_t lbd_gen_ = 0;
+
+  // --- restart / reduction state ---
+  std::uint64_t conflicts_at_restart_ = 0;
+  std::uint64_t luby_index_ = 0;
+  std::uint64_t luby_budget_ = 0;
+  std::uint64_t reduce_budget_ = 0;
+  std::uint64_t reduce_count_ = 0;
+
+  std::vector<bool> witness_;
+  std::vector<std::uint8_t> node_values_;
+};
+
+/// One-shot convenience mirroring solve_cnf(): load + solve + copy out.
+struct CircuitSolveResult {
+  Status status = Status::kUnknown;
+  CircuitStats stats;
+  std::vector<bool> witness;               ///< PI assignment (kSat)
+  std::vector<std::uint8_t> node_values;   ///< per-node model (kSat)
+};
+CircuitSolveResult solve_circuit(const aig::Aig& g,
+                                 const CircuitSolverConfig& config = {},
+                                 const Limits& limits = {});
+
+}  // namespace csat::sat
+
+#endif  // CSAT_SAT_CIRCUIT_SOLVER_H

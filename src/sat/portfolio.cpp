@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "cnf/tseitin.h"
 
 namespace csat::sat {
 
@@ -175,6 +176,135 @@ PortfolioResult solve_portfolio(const Cnf& formula,
     if (w.status != Status::kUnknown)
       CSAT_CHECK_MSG(w.status == result.status,
                      "portfolio workers disagree on SAT/UNSAT");
+  return result;
+}
+
+namespace {
+
+/// The CNF arm of the circuit race, run to completion in the calling
+/// thread: Tseitin-encode, solve, project any model back onto the PIs.
+/// Fills cnf_status / cnf_stats / cnf_seconds and returns the PI witness
+/// (empty unless SAT).
+std::vector<bool> run_cnf_arm(const aig::Aig& g, const SolverConfig& config,
+                              const Limits& limits, CircuitRaceResult& out) {
+  Stopwatch watch;
+  const cnf::TseitinResult enc = cnf::tseitin_encode(g);
+  std::vector<bool> witness;
+  if (enc.trivially_unsat) {
+    out.cnf_status = Status::kUnsat;
+  } else if (enc.trivially_sat) {
+    // Some PO is constant true: any PI assignment witnesses SAT.
+    out.cnf_status = Status::kSat;
+    witness.assign(g.pis().size(), false);
+  } else {
+    Solver solver(config);
+    solver.add_formula(enc.cnf);
+    out.cnf_status = solver.solve(limits);
+    out.cnf_stats = solver.stats();
+    if (out.cnf_status == Status::kSat)
+      witness = cnf::witness_from_model(g, enc, solver.model());
+  }
+  out.cnf_seconds = watch.seconds();
+  return witness;
+}
+
+}  // namespace
+
+CircuitRaceResult solve_circuit_race(const aig::Aig& g,
+                                     const CircuitRaceOptions& options) {
+  CircuitRaceResult result;
+  Stopwatch total;
+  using Arm = CircuitRaceResult::Arm;
+
+  std::vector<bool> circuit_witness;
+  std::vector<bool> cnf_witness;
+
+  if (options.deterministic) {
+    // Sequential, no cancellation: both arms run to their own verdict or
+    // budget, and the circuit arm's verdict is preferred when definitive.
+    {
+      Stopwatch watch;
+      CircuitSolver solver(options.circuit);
+      solver.load(g);
+      result.circuit_status = solver.solve(options.limits);
+      result.circuit_stats = solver.stats();
+      if (result.circuit_status == Status::kSat)
+        circuit_witness = solver.witness();
+      result.circuit_seconds = watch.seconds();
+    }
+    cnf_witness = run_cnf_arm(g, options.solver, options.limits, result);
+  } else {
+    std::atomic<bool> stop{false};
+    std::atomic<int> winner{-1};
+    // Caller cancellation: the arms' terminate slot is taken by the
+    // internal stop flag, so a watcher folds the external flag in (the
+    // same pattern as solve_portfolio).
+    const std::atomic<bool>* external = options.limits.terminate;
+    std::thread watcher;
+    if (external != nullptr) {
+      watcher = std::thread([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (external->load(std::memory_order_relaxed)) {
+            stop.store(true);
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+    Limits limits = options.limits;
+    limits.terminate = &stop;
+
+    auto claim = [&](Arm arm, Status status) {
+      if (status == Status::kUnknown) return;
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, static_cast<int>(arm)))
+        stop.store(true);
+    };
+
+    std::thread circuit_thread([&] {
+      Stopwatch watch;
+      CircuitSolver solver(options.circuit);
+      solver.load(g);
+      result.circuit_status = solver.solve(limits);
+      result.circuit_stats = solver.stats();
+      if (result.circuit_status == Status::kSat)
+        circuit_witness = solver.witness();
+      result.circuit_seconds = watch.seconds();
+      claim(Arm::kCircuit, result.circuit_status);
+    });
+    std::thread cnf_thread([&] {
+      cnf_witness = run_cnf_arm(g, options.solver, limits, result);
+      claim(Arm::kCnf, result.cnf_status);
+    });
+    circuit_thread.join();
+    cnf_thread.join();
+    stop.store(true);  // release the watcher when neither arm ever finished
+    if (watcher.joinable()) watcher.join();
+    if (winner.load() >= 0) result.winner = static_cast<Arm>(winner.load());
+  }
+
+  // Deterministic mode (and the no-election edge) prefers the circuit arm.
+  if (result.winner == Arm::kNone) {
+    if (result.circuit_status != Status::kUnknown) {
+      result.winner = Arm::kCircuit;
+    } else if (result.cnf_status != Status::kUnknown) {
+      result.winner = Arm::kCnf;
+    }
+  }
+  if (result.winner != Arm::kNone) {
+    result.status = result.winner == Arm::kCircuit ? result.circuit_status
+                                                   : result.cnf_status;
+    result.witness = result.winner == Arm::kCircuit ? std::move(circuit_witness)
+                                                    : std::move(cnf_witness);
+  }
+  // Soundness: when both arms reach a verdict they must agree — the arms
+  // decide the same question over different encodings.
+  if (result.circuit_status != Status::kUnknown &&
+      result.cnf_status != Status::kUnknown)
+    CSAT_CHECK_MSG(result.circuit_status == result.cnf_status,
+                   "circuit and CNF arms disagree on SAT/UNSAT");
+  result.seconds = total.seconds();
   return result;
 }
 

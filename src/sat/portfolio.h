@@ -24,7 +24,9 @@
 #include <limits>
 #include <vector>
 
+#include "aig/aig.h"
 #include "cnf/cnf.h"
+#include "sat/circuit_solver.h"
 #include "sat/clause_exchange.h"
 #include "sat/solver.h"
 
@@ -144,6 +146,59 @@ struct PortfolioResult {
 /// stop flag).
 [[nodiscard]] PortfolioResult solve_portfolio(const Cnf& formula,
                                               const PortfolioOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Heterogeneous circuit-vs-CNF race.
+//
+// Unlike the homogeneous portfolio above, the two arms of this race search
+// DIFFERENT variable spaces: the circuit arm assigns AIG node ids, the CNF
+// arm assigns Tseitin variables. A learnt clause from one arm is
+// meaningless to the other without a translation layer, so clause sharing
+// is structurally disabled here — the only cross-thread traffic is the
+// stop flag and the winner election.
+
+struct CircuitRaceOptions {
+  /// CNF arm: tseitin_encode(g) solved by the flat-watch CDCL Solver.
+  SolverConfig solver;
+  /// Circuit arm: CircuitSolver running directly on the AIG. Callers that
+  /// want the arms to share tuning derive this with
+  /// CircuitSolverConfig::from_cnf(solver).
+  CircuitSolverConfig circuit;
+  /// Per-arm budget. A caller-supplied Limits::terminate cancels the whole
+  /// race (folded into the internal stop flag, as in solve_portfolio).
+  Limits limits;
+  /// Run the arms sequentially (circuit first) with no cancellation and
+  /// report the circuit arm's verdict when definitive, else the CNF arm's.
+  /// Reproducible bit-for-bit; costs the loser's runtime.
+  bool deterministic = false;
+};
+
+struct CircuitRaceResult {
+  enum class Arm : std::uint8_t { kCircuit = 0, kCnf = 1, kNone = 2 };
+
+  Status status = Status::kUnknown;
+  Arm winner = Arm::kNone;  ///< kNone when both arms exhausted their budget
+  /// Per-arm verdicts (kUnknown = cancelled or out of budget) and counters.
+  Status circuit_status = Status::kUnknown;
+  Status cnf_status = Status::kUnknown;
+  CircuitStats circuit_stats;
+  Stats cnf_stats;
+  double circuit_seconds = 0.0;
+  double cnf_seconds = 0.0;
+  /// PI assignment (indexed by PI order) when status == kSat, regardless of
+  /// which arm won — the CNF arm's model is projected back onto the PIs, so
+  /// callers see one witness format.
+  std::vector<bool> witness;
+  double seconds = 0.0;  ///< wall-clock time of the whole race
+};
+
+/// Races CircuitSolver against tseitin_encode + Solver on the CSAT instance
+/// "some PO of g is 1". First definitive arm wins and cancels the other;
+/// when both finish definitively their verdicts are cross-checked (a
+/// disagreement is a solver bug and aborts). Blocks the calling thread and
+/// joins both arms before returning.
+[[nodiscard]] CircuitRaceResult solve_circuit_race(
+    const aig::Aig& g, const CircuitRaceOptions& options = {});
 
 }  // namespace csat::sat
 

@@ -1079,7 +1079,15 @@ void Solver::reduce_db() {
   if (config_.flat_watch) {
     if (watch_flat_.dead_slots() * 4 >= watch_flat_.total_slots() &&
         watch_flat_.dead_slots() > 0) {
-      watch_flat_.compact();
+      // Blocker-aware repack: front the watchers BCP will skip without a
+      // clause visit (blocker currently true), so the post-GC descent reads
+      // them as one sequential run before any cache-missing clause loads.
+      if (config_.blocker_sorted_compact) {
+        watch_flat_.compact(
+            [this](const Watcher& w) { return value(w.blocker) == kTrue; });
+      } else {
+        watch_flat_.compact();
+      }
     }
     if (bin_watch_.dead_slots() * 4 >= bin_watch_.total_slots() &&
         bin_watch_.dead_slots() > 0) {

@@ -160,6 +160,16 @@ struct SolverConfig {
   /// engines keep disjoint storage and reset() preserves the choice.
   bool flat_watch = true;
 
+  /// Order each watch list by blocker liveness during the post-GC
+  /// defragmentation (FlatLists::compact with a predicate): watchers whose
+  /// blocker is currently satisfied are repacked first, so the next descent
+  /// burns through the cheap blocker-skip entries as one sequential run
+  /// before any clause memory is touched. Off restores plain order-
+  /// preserving compaction (`sat_micro --blocker-sort=off` A/B lever).
+  /// Flat-engine only; changes watch-list order and therefore the search
+  /// trajectory, not correctness.
+  bool blocker_sorted_compact = true;
+
   /// Stand-in for Kissat 4.0: aggressive EMA restarts, fast variable decay.
   static SolverConfig kissat_like() {
     SolverConfig c;

@@ -137,6 +137,34 @@ class FlatLists {
     dead_slots_ = 0;
   }
 
+  /// Mark-compact variant that additionally reorders each list while
+  /// repacking: entries satisfying \p pred come first, order preserved
+  /// within each class (a stable partition, so determinism is a pure
+  /// function of solver state). The CDCL solver passes "blocker literal
+  /// currently satisfied": a watcher whose blocker is true is skipped by
+  /// BCP without touching its clause, so fronting those entries lets the
+  /// post-GC descent burn through the cheap skips sequentially before the
+  /// cache-missing clause visits begin. Same cost and invalidation rules
+  /// as compact(); \p pred is called up to twice per live entry and must
+  /// not touch the lists.
+  template <typename Pred>
+  void compact(Pred&& pred) {
+    scratch_.clear();
+    scratch_.reserve(data_.size());
+    for (Head& h : heads_) {
+      const auto new_off = static_cast<std::uint32_t>(scratch_.size());
+      for (std::uint32_t k = 0; k < h.size; ++k)
+        if (pred(data_[h.offset + k])) scratch_.push_back(data_[h.offset + k]);
+      for (std::uint32_t k = 0; k < h.size; ++k)
+        if (!pred(data_[h.offset + k])) scratch_.push_back(data_[h.offset + k]);
+      h.offset = new_off;
+      h.capacity = h.size == 0 ? 0 : h.size + (h.size >> 3) + 2;
+      scratch_.resize(new_off + h.capacity);
+    }
+    data_.swap(scratch_);
+    dead_slots_ = 0;
+  }
+
   /// Drops every list's contents but keeps all heap allocations and the
   /// header table's high-water size — the Solver::reset() warm-reuse path.
   void clear() {

@@ -204,6 +204,93 @@ TEST_P(AigerRoundTrip, AsciiAndBinaryPreserveFunction) {
 
 INSTANTIATE_TEST_SUITE_P(Shapes, AigerRoundTrip, ::testing::Range(0, 8));
 
+/// Round-trips \p g through both AIGER encodings and checks shape +
+/// function preservation (the PR 9 edge-case battery below shares it).
+void expect_roundtrip(const Aig& g, const char* tag) {
+  for (const bool binary : {false, true}) {
+    std::stringstream ss;
+    if (binary)
+      write_aiger_binary(g, ss);
+    else
+      write_aiger_ascii(g, ss);
+    const Aig h = read_aiger(ss);
+    EXPECT_EQ(h.num_pis(), g.num_pis()) << tag;
+    EXPECT_EQ(h.num_pos(), g.num_pos()) << tag;
+    EXPECT_TRUE(equal_by_simulation(g, h))
+        << tag << (binary ? " (binary)" : " (ascii)");
+  }
+}
+
+TEST(AigerRoundTripEdgeCases, ConstantDrivenPos) {
+  // POs driven by the constant node, both polarities, alone and mixed with
+  // real logic — strash folding routinely produces these (e.g. a miter of
+  // structurally identical halves collapses to constant false).
+  {
+    Aig g;
+    g.add_pi();  // a PI the constant PO ignores
+    g.add_po(kFalse);
+    expect_roundtrip(g, "const-false po");
+  }
+  {
+    Aig g;
+    g.add_pi();
+    g.add_po(kTrue);
+    expect_roundtrip(g, "const-true po");
+  }
+  {
+    Aig g;
+    const Lit a = g.add_pi();
+    const Lit b = g.add_pi();
+    g.add_po(g.and2(a, b));
+    g.add_po(kFalse);
+    g.add_po(kTrue);
+    expect_roundtrip(g, "mixed const + logic pos");
+  }
+}
+
+TEST(AigerRoundTripEdgeCases, DanglingNodesSurviveOrDropCleanly) {
+  // ANDs outside every PO cone: the writer renumbers live nodes, so the
+  // round-tripped circuit must keep the function even though dangling ids
+  // shift or disappear.
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit live = g.and2(a, b);
+  g.and2(live, c);      // dangling: never referenced by a PO
+  g.and2(!a, !c);       // dangling
+  g.add_po(live);
+  EXPECT_GT(g.num_ands(), g.num_live_ands());
+  expect_roundtrip(g, "dangling ands");
+}
+
+TEST(AigerRoundTripEdgeCases, ZeroPiCircuits) {
+  // No inputs at all: every PO is necessarily constant. The header's I
+  // field is 0 and the simulation-equivalence check runs on the single
+  // empty input pattern.
+  {
+    Aig g;
+    g.add_po(kTrue);
+    expect_roundtrip(g, "zero-pi single const po");
+  }
+  {
+    Aig g;
+    g.add_po(kFalse);
+    g.add_po(kTrue);
+    g.add_po(kFalse);
+    expect_roundtrip(g, "zero-pi multiple pos");
+  }
+}
+
+TEST(AigerRoundTripEdgeCases, ZeroPoCircuits) {
+  // Logic but no outputs: legal AIGER (O = 0); everything is dead.
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.and2(a, b);
+  expect_roundtrip(g, "zero-po");
+}
+
 TEST(AigerErrors, RejectsMalformedInputs) {
   const auto parse = [](const std::string& text) {
     std::stringstream ss(text);

@@ -4,7 +4,11 @@
 // SAT verdict's model is checked against the original CNF. Instances come
 // from seeded random 3-SAT (both sides of the phase transition), crafted
 // UNSAT families, and generated circuit miters (src/gen), a few hundred in
-// total per run, reproducible from fixed seeds.
+// total per run, reproducible from fixed seeds. The `circuit` lever (PR 9)
+// additionally solves 200+ generated miters and bridged CNF instances with
+// the circuit-native backend AND the Tseitin+CNF backend: verdicts must
+// agree, every SAT witness must drive the AIG to a true PO, and every
+// circuit-arm assignment must be a model of the Tseitin encoding.
 
 #include <gtest/gtest.h>
 
@@ -13,10 +17,14 @@
 #include <string>
 #include <vector>
 
+#include "aig/simulate.h"
+#include "cnf/cnf_to_aig.h"
 #include "cnf/simplify.h"
 #include "cnf/tseitin.h"
 #include "common/rng.h"
+#include "gen/random_circuit.h"
 #include "gen/suite.h"
+#include "sat/circuit_solver.h"
 #include "sat/drat_check.h"
 #include "sat/portfolio.h"
 #include "sat/proof.h"
@@ -378,6 +386,118 @@ TEST(FuzzDifferential, UnsatProofsValidateAcrossInstanceFamilies) {
   // solves each), so a healthy majority of the sweep must end in a checked
   // refutation or the sweep is vacuous.
   EXPECT_GT(proofs_checked, 160);
+}
+
+TEST(FuzzDifferential, CircuitBackendAgreesAcrossGeneratedInstances) {
+  // The circuit lever: 200+ instances — LEC/ATPG miters, random circuit
+  // windows, and CNF families bridged through cnf::cnf_to_aig — each solved
+  // by the circuit-native backend, the Tseitin+CNF backend, and the
+  // heterogeneous circuit-vs-CNF race. All verdicts must agree. Every SAT
+  // verdict is checked in BOTH directions: the circuit witness must drive
+  // the AIG to a true PO and its full gate assignment must satisfy the
+  // Tseitin encoding; the CNF model's extracted PI witness must drive the
+  // AIG too.
+  const sat::CircuitSolverConfig circ_cfg =
+      sat::CircuitSolverConfig::from_cnf(sat::SolverConfig::kissat_like());
+  int total = 0;
+  int sat_count = 0;
+  int unsat_count = 0;
+  const auto po_true = [](const aig::Aig& g, const std::vector<bool>& pis) {
+    for (const bool po : aig::evaluate(g, pis))
+      if (po) return true;
+    return false;
+  };
+  const auto check_one = [&](const aig::Aig& g, const std::string& tag) {
+    ++total;
+    const auto circ = sat::solve_circuit(g, circ_cfg);
+    ASSERT_NE(circ.status, sat::Status::kUnknown) << tag;
+
+    const auto enc = cnf::tseitin_encode(g);
+    sat::Status cnf_status = sat::Status::kUnknown;
+    std::vector<bool> cnf_model;
+    if (enc.trivially_unsat) {
+      cnf_status = sat::Status::kUnsat;
+    } else if (enc.trivially_sat) {
+      cnf_status = sat::Status::kSat;
+    } else {
+      auto r = sat::solve_cnf(enc.cnf, sat::SolverConfig::kissat_like());
+      cnf_status = r.status;
+      cnf_model = std::move(r.model);
+    }
+    ASSERT_NE(cnf_status, sat::Status::kUnknown) << tag;
+    EXPECT_EQ(circ.status, cnf_status) << tag << " circuit vs cnf";
+
+    if (circ.status == sat::Status::kSat) {
+      ++sat_count;
+      EXPECT_TRUE(po_true(g, circ.witness)) << tag << " circuit witness";
+      if (!enc.trivially_sat) {
+        // The circuit arm's full assignment, mapped through node2var, must
+        // be a model of the Tseitin encoding — the strongest cross-check
+        // that both backends talk about the same instance.
+        std::vector<bool> model(enc.cnf.num_vars(), false);
+        for (std::size_t node = 0; node < enc.node2var.size(); ++node) {
+          const std::uint32_t v = enc.node2var[node];
+          if (v != UINT32_MAX) model[v] = circ.node_values[node] != 0;
+        }
+        EXPECT_TRUE(check_model(enc.cnf, model))
+            << tag << " circuit assignment vs Tseitin encoding";
+        const auto w = cnf::witness_from_model(g, enc, cnf_model);
+        EXPECT_TRUE(po_true(g, w)) << tag << " cnf witness";
+      }
+    } else {
+      ++unsat_count;
+    }
+
+    sat::CircuitRaceOptions ropt;
+    ropt.circuit = circ_cfg;
+    const auto race = sat::solve_circuit_race(g, ropt);
+    EXPECT_EQ(race.status, circ.status) << tag << " race verdict";
+    if (race.status == sat::Status::kSat) {
+      EXPECT_TRUE(po_true(g, race.witness))
+          << tag << " race witness (winner="
+          << static_cast<int>(race.winner) << ")";
+    }
+  };
+
+  // LEC/ATPG miters from the suite generator (mixed SAT/UNSAT).
+  gen::SuiteParams params;
+  params.count = 110;
+  params.seed = 20260808;
+  params.multiplier = {3, 4, 0.30};
+  for (const auto& inst : gen::make_suite(params))
+    check_one(inst.circuit, "circuit/" + inst.name);
+
+  // Random circuit windows: the PO cone is an arbitrary internal function,
+  // exercising frontier shapes miters never produce.
+  Rng rng(0xC19CB);
+  for (int i = 0; i < 40; ++i) {
+    gen::RandomAigParams p;
+    p.num_pis = 6 + static_cast<int>(rng.next_below(5));
+    p.num_gates = 40 + static_cast<int>(rng.next_below(61));
+    check_one(gen::random_aig(p, rng.next_u64()),
+              "circuit/random_aig[" + std::to_string(i) + "]");
+  }
+
+  // CNF families through the cnf_to_aig bridge: vars become PIs, so the
+  // bridge lets the gate-domain solver answer clause-domain questions.
+  for (int i = 0; i < 50; ++i) {
+    const int vars = 15 + static_cast<int>(rng.next_below(31));
+    const double ratio = 3.4 + 0.01 * static_cast<double>(rng.next_below(161));
+    const cnf::Cnf f =
+        random_3sat(vars, static_cast<int>(vars * ratio), rng.next_u64());
+    check_one(cnf::cnf_to_aig(f),
+              "circuit/bridged_random3sat[" + std::to_string(i) + "]");
+  }
+  for (int holes = 3; holes <= 5; ++holes) {
+    check_one(cnf::cnf_to_aig(pigeonhole(holes)),
+              "circuit/bridged_pigeonhole(" + std::to_string(holes) + ")");
+  }
+
+  EXPECT_GE(total, 200);
+  // Both verdicts must be well represented or the differential is
+  // one-sided.
+  EXPECT_GT(sat_count, 30);
+  EXPECT_GT(unsat_count, 30);
 }
 
 TEST(FuzzDifferential, SharingUnderTinyRingAndAggressiveFilters) {

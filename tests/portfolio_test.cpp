@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "core/batch_runner.h"
 #include "core/pipeline.h"
+#include "cnf/cnf_to_aig.h"
 #include "gen/miter.h"
 #include "gen/suite.h"
 #include "sat/portfolio.h"
@@ -219,6 +220,42 @@ TEST(Portfolio, ExternalTerminateCancelsWholeRace) {
   race.join();
   EXPECT_EQ(r.status, sat::Status::kUnknown);
   EXPECT_EQ(r.winner, sat::PortfolioResult::kNoWinner);
+}
+
+// --- circuit-vs-CNF race ----------------------------------------------------
+
+TEST(Portfolio, CircuitRaceDeterministicModeIsReproducible) {
+  const aig::Aig g = gen::make_adder_miter(8);
+  sat::CircuitRaceOptions opt;
+  opt.deterministic = true;
+  const auto a = sat::solve_circuit_race(g, opt);
+  const auto b = sat::solve_circuit_race(g, opt);
+  EXPECT_EQ(a.status, sat::Status::kUnsat);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.winner, b.winner);
+  // Both arms ran to completion (no cancellation in deterministic mode) and
+  // their gate/CNF-domain searches are bitwise repeatable.
+  EXPECT_EQ(a.circuit_status, b.circuit_status);
+  EXPECT_EQ(a.cnf_status, b.cnf_status);
+  EXPECT_EQ(a.circuit_stats.conflicts, b.circuit_stats.conflicts);
+  EXPECT_EQ(a.circuit_stats.decisions, b.circuit_stats.decisions);
+  EXPECT_EQ(a.cnf_stats.conflicts, b.cnf_stats.conflicts);
+}
+
+TEST(Portfolio, CircuitRaceExternalTerminateCancelsBothArms) {
+  // A bridged hard UNSAT pigeonhole: both arms need real search, so neither
+  // can finish before the cancel lands.
+  const aig::Aig g = cnf::cnf_to_aig(pigeonhole(12));
+  sat::CircuitRaceOptions opt;
+  std::atomic<bool> cancel{false};
+  opt.limits.terminate = &cancel;
+  sat::CircuitRaceResult r;
+  std::thread race([&] { r = sat::solve_circuit_race(g, opt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cancel.store(true);
+  race.join();
+  EXPECT_EQ(r.status, sat::Status::kUnknown);
+  EXPECT_EQ(r.winner, sat::CircuitRaceResult::Arm::kNone);
 }
 
 // --- clause sharing ---------------------------------------------------------

@@ -268,9 +268,11 @@ TEST(Simplify, RemapCompactsVariableRange) {
   EXPECT_EQ(r.var_map[4], SimplifyResult::kUnmapped);
   EXPECT_EQ(r.var_map[5], SimplifyResult::kUnmapped);
   ASSERT_EQ(r.inverse_map.size(), r.cnf.num_vars());
-  for (std::uint32_t v = 0; v < r.original_vars; ++v)
-    if (r.var_map[v] != SimplifyResult::kUnmapped)
+  for (std::uint32_t v = 0; v < r.original_vars; ++v) {
+    if (r.var_map[v] != SimplifyResult::kUnmapped) {
       EXPECT_EQ(r.inverse_map[r.var_map[v]], v);
+    }
+  }
   const auto solved = sat::solve_cnf(r.cnf);
   ASSERT_EQ(solved.status, sat::Status::kSat);
   const auto full = r.extend_model(solved.model);
