@@ -10,13 +10,23 @@
 // (1) on the repeated workload; the (2) row isolates how much of that is
 // warm-solver reuse vs caching. All three run the same worker count.
 //
+// A fourth adversarial round then stress-tests the robustness layer: the
+// same server under deliberate overload — deadline'd resolution-hard
+// instances, bad requests, a tight admission queue, degradation watermarks,
+// a hard memory cap and deterministic fault injection — reporting the
+// timeout/overload/degraded/fault/memout counters and the core invariant
+// (one response per request, nothing lost, nothing duplicated).
+//
 //   $ ./server_throughput [--unique=U] [--repeats=R] [--workers=W] [--seed=S]
+//                         [--adversarial=N]
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "core/batch_runner.h"
 #include "core/solve_server.h"
@@ -87,6 +97,80 @@ double run_server(const Workload& w, int repeats, std::size_t workers,
   return seconds;
 }
 
+/// Adversarial round: every request shape the robustness layer handles,
+/// fired at a server with a deliberately tight admission queue while the
+/// deterministic fault harness is live. Returns true when the
+/// one-response-per-request invariant held.
+bool run_adversarial(int rounds, std::size_t workers, std::uint64_t seed) {
+  fault::Config inject;
+  inject.enabled = true;
+  inject.seed = seed;
+  inject.rate_permille = 100;
+  inject.mask = 0xFu;
+  fault::configure(inject);
+
+  const std::vector<std::string> patterns = {
+      "solve family=php:12 simplify=off deadline_ms=150 expect=timeout",
+      "solve family=adder_miter:8 cache=on",
+      "solve family=php:11 backend=portfolio portfolio=2 simplify=off "
+      "deadline_ms=150",
+      "solve family=random:12:120:9 backend=circuit-race max_conflicts=2000",
+      "solve family=nope expect=error",
+      "solve family=php:14 max_memory_mb=1 simplify=off deadline_ms=30000",
+  };
+
+  core::ServerOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = 4;
+  options.shed_watermark = 4;
+  options.max_queue_wait_ms = 5;
+  options.degrade_watermark = 2;
+  options.degraded_max_conflicts = 5000;
+  options.cache_capacity = 128;
+  std::atomic<std::uint64_t> responses{0};
+  options.on_response = [&responses](const core::ServerResponse&) {
+    responses.fetch_add(1, std::memory_order_relaxed);
+  };
+  core::SolveServer server(options);
+
+  Stopwatch watch;
+  std::uint64_t submitted = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (const std::string& line : patterns) {
+      std::string error;
+      auto request = core::SolveServer::parse_request(line, error);
+      if (!request.has_value()) continue;  // patterns are all well-formed
+      ++submitted;
+      (void)server.submit(std::move(*request));  // false = shed, still answered
+    }
+  }
+  server.drain();
+  const double seconds = watch.seconds();
+  const core::ServerCounters c = server.counters();
+  server.stop();
+  fault::configure(fault::Config{});
+
+  std::printf(
+      "adversarial round    %8.3fs  %9.1f req/s   (%llu requests)\n"
+      "  outcomes: %llu timeouts, %llu overloads, %llu degraded, "
+      "%llu worker faults, %llu memouts, %llu errors\n",
+      seconds, static_cast<double>(submitted) / seconds,
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(c.timeouts),
+      static_cast<unsigned long long>(c.overloads),
+      static_cast<unsigned long long>(c.degraded),
+      static_cast<unsigned long long>(c.worker_faults),
+      static_cast<unsigned long long>(c.memouts),
+      static_cast<unsigned long long>(c.errors));
+  const std::uint64_t seen = responses.load(std::memory_order_relaxed);
+  const bool ok = seen == submitted && c.completed + c.overloads == submitted;
+  std::printf("  invariant: %llu/%llu responses — %s\n",
+              static_cast<unsigned long long>(seen),
+              static_cast<unsigned long long>(submitted),
+              ok ? "OK (one response per request)" : "VIOLATED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,7 +216,12 @@ int main(int argc, char** argv) {
 
   const double speedup = cached_seconds > 0.0 ? batch_seconds / cached_seconds : 0.0;
   std::printf("\ncached-workload speedup vs one-shot run_batch: %.2fx "
-              "(acceptance target >= 5x)\n",
+              "(acceptance target >= 5x)\n\n",
               speedup);
-  return 0;
+
+  // 4. adversarial round: overload + deadlines + memouts + injected faults.
+  const int adversarial =
+      static_cast<int>(flags.get_int("adversarial", 6));
+  const bool invariant_ok = run_adversarial(adversarial, workers, seed);
+  return invariant_ok ? 0 : 1;
 }

@@ -22,13 +22,27 @@
 //          --portfolio=K          default portfolio size
 //          --simplify=on|off      default CNF preprocessing (requests may
 //                                 override with simplify=on|off)
+//          --deadline-ms=N        default deadline for requests without
+//                                 deadline_ms= (0 = none)
+//          --shed-watermark=N     answer OVERLOAD once N requests queue
+//          --queue-wait-ms=N      bounded admission wait before shedding
+//                                 (-1 = block indefinitely, the default)
+//          --degrade-watermark=N  serve degraded above this queue depth
 //          --expect-cache-hits=N  exit 1 unless the cache hit >= N times
-//          --strict               exit 1 on any error response
+//          --expect-responses=N   exit 1 unless exactly N responses were
+//                                 emitted (completed + parse errors +
+//                                 overloads — the one-in-one-out invariant)
+//          --expect-parse-errors=N  exit 1 unless exactly N stream lines
+//                                 were malformed
+//          --strict               exit 1 on any *unexpected* error response
+//                                 (errors asserted with expect=error and
+//                                 malformed lines counted by
+//                                 --expect-parse-errors don't trip it)
 //
-// Exit status: 0 on success; 1 when any expect= self-check failed, when
-// --expect-cache-hits was not met, or (--strict) when any request errored;
-// 2 on bad flags. A final stats summary goes to stderr so stdout stays pure
-// protocol.
+// Exit status: 0 on success; 1 when any expect= self-check or --expect-*
+// accounting check failed, or (--strict) when any request errored without
+// expect=error asserting it; 2 on bad flags. A final stats summary goes to
+// stderr so stdout stays pure protocol.
 
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +56,8 @@ using namespace csat;
 int main(int argc, char** argv) {
   core::ServerOptions options;
   long expect_cache_hits = -1;
+  long expect_responses = -1;
+  long expect_parse_errors = -1;
   bool strict = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +85,18 @@ int main(int argc, char** argv) {
       options.default_portfolio_size = static_cast<std::size_t>(v);
     } else if (int_flag("--expect-cache-hits=", 0, v)) {
       expect_cache_hits = v;
+    } else if (int_flag("--expect-responses=", 0, v)) {
+      expect_responses = v;
+    } else if (int_flag("--expect-parse-errors=", 0, v)) {
+      expect_parse_errors = v;
+    } else if (int_flag("--deadline-ms=", 0, v)) {
+      options.default_deadline_ms = static_cast<std::uint64_t>(v);
+    } else if (int_flag("--shed-watermark=", 0, v)) {
+      options.shed_watermark = static_cast<std::size_t>(v);
+    } else if (int_flag("--queue-wait-ms=", -1, v)) {
+      options.max_queue_wait_ms = v;
+    } else if (int_flag("--degrade-watermark=", 0, v)) {
+      options.degrade_watermark = static_cast<std::size_t>(v);
     } else if (arg.rfind("--max-seconds=", 0) == 0) {
       const char* digits = arg.c_str() + 14;
       char* end = nullptr;
@@ -119,6 +147,17 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(cc.hits),
                static_cast<unsigned long long>(cc.misses),
                static_cast<unsigned long long>(cc.evictions));
+  std::fprintf(stderr,
+               "robustness: %llu timeouts, %llu overloads, %llu degraded, "
+               "%llu worker faults, %llu memouts, %llu parse errors, "
+               "%llu unexpected errors\n",
+               static_cast<unsigned long long>(c.timeouts),
+               static_cast<unsigned long long>(c.overloads),
+               static_cast<unsigned long long>(c.degraded),
+               static_cast<unsigned long long>(c.worker_faults),
+               static_cast<unsigned long long>(c.memouts),
+               static_cast<unsigned long long>(c.parse_errors),
+               static_cast<unsigned long long>(c.unexpected_errors));
 
   if (c.expect_failures != 0) {
     std::fprintf(stderr, "%llu expect= self-checks failed\n",
@@ -131,6 +170,28 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cc.hits), expect_cache_hits);
     return 1;
   }
-  if (strict && c.errors != 0) return 1;
+  // One response per stream line, even under faults, overload and
+  // deadlines: the resilience smoke pins the exact count.
+  const std::uint64_t responses = c.completed + c.parse_errors + c.overloads;
+  if (expect_responses >= 0 &&
+      responses != static_cast<std::uint64_t>(expect_responses)) {
+    std::fprintf(stderr, "responses %llu != required %ld\n",
+                 static_cast<unsigned long long>(responses), expect_responses);
+    return 1;
+  }
+  if (expect_parse_errors >= 0 &&
+      c.parse_errors != static_cast<std::uint64_t>(expect_parse_errors)) {
+    std::fprintf(stderr, "parse errors %llu != required %ld\n",
+                 static_cast<unsigned long long>(c.parse_errors),
+                 expect_parse_errors);
+    return 1;
+  }
+  // --strict gates on errors nobody asserted: expect=error responses and
+  // (when --expect-parse-errors pinned them) malformed lines are fine.
+  if (strict) {
+    std::uint64_t gate = c.unexpected_errors;
+    if (expect_parse_errors < 0) gate += c.parse_errors;
+    if (gate != 0) return 1;
+  }
   return 0;
 }

@@ -102,7 +102,15 @@ Aig read_aiger(std::istream& in) {
     throw AigerError("aiger: bad magic '" + magic + "'");
   if (num_latch != 0)
     throw AigerError("aiger: sequential circuits unsupported (latches present)");
-  if (max_var < num_in + num_and)
+  // Hostile-header guards: the size cap bounds the var2lit allocation below
+  // (a one-line header must not cost gigabytes), and the count comparison
+  // is done in 64 bits — num_in + num_and can wrap uint32, which would let
+  // an inconsistent header pass and walk var2lit out of bounds.
+  constexpr std::uint32_t kMaxVars = 100'000'000;
+  if (max_var > kMaxVars || num_out > kMaxVars)
+    throw AigerError("aiger: declared size exceeds supported limits");
+  if (static_cast<std::uint64_t>(max_var) <
+      static_cast<std::uint64_t>(num_in) + static_cast<std::uint64_t>(num_and))
     throw AigerError("aiger: inconsistent header counts");
   const bool binary = magic == "aig";
 
@@ -136,7 +144,10 @@ Aig read_aiger(std::istream& in) {
   } else {
     for (std::uint32_t i = 0; i < num_in; ++i) {
       std::uint32_t aiglit = 0;
-      if (!(in >> aiglit) || (aiglit & 1u) != 0)
+      // aiglit < 2 rejects the constants, (aiglit >> 1) > max_var an
+      // out-of-range variable: both used to write var2lit out of bounds.
+      if (!(in >> aiglit) || (aiglit & 1u) != 0 || aiglit < 2 ||
+          (aiglit >> 1) > max_var)
         throw AigerError("aiger: bad input literal");
       var2lit[aiglit >> 1] = g.add_pi();
     }
@@ -145,7 +156,8 @@ Aig read_aiger(std::istream& in) {
       if (!(in >> po)) throw AigerError("aiger: missing output literal");
     for (std::uint32_t i = 0; i < num_and; ++i) {
       std::uint32_t lhs = 0, rhs0 = 0, rhs1 = 0;
-      if (!(in >> lhs >> rhs0 >> rhs1) || (lhs & 1u) != 0)
+      if (!(in >> lhs >> rhs0 >> rhs1) || (lhs & 1u) != 0 || lhs < 2 ||
+          (lhs >> 1) > max_var)
         throw AigerError("aiger: bad AND line");
       if (rhs0 >= lhs || rhs1 >= lhs)
         throw AigerError("aiger: AND not in topological order");

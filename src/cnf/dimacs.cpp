@@ -1,12 +1,35 @@
 #include "cnf/dimacs.h"
 
+#include <charconv>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 namespace csat::cnf {
+
+namespace {
+
+/// Header caps against hostile input: a one-line file declaring 2^31
+/// variables must be a typed error, not a multi-gigabyte allocation. The
+/// caps are far above anything the rest of this codebase can solve.
+constexpr long kMaxDeclaredVars = 100'000'000;
+constexpr long kMaxDeclaredClauses = 500'000'000;
+
+/// Full-token integer parse. std::stoi accepted trailing garbage ("12x"
+/// parsed as 12) and std::istream's operator>> has locale behaviour; this
+/// accepts exactly an optional sign followed by digits, nothing else.
+bool parse_int_token(const std::string& token, int& out) {
+  if (token.empty()) return false;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [p, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && p == end;
+}
+
+}  // namespace
 
 Cnf read_dimacs(std::istream& in) {
   Cnf f;
@@ -26,6 +49,9 @@ Cnf read_dimacs(std::istream& in) {
       long vars = 0, clauses = 0;
       if (!(in >> fmt >> vars >> clauses) || fmt != "cnf" || vars < 0 || clauses < 0)
         throw DimacsError("dimacs: malformed problem line");
+      if (vars > kMaxDeclaredVars || clauses > kMaxDeclaredClauses)
+        throw DimacsError("dimacs: declared size exceeds supported limits");
+      if (header_seen) throw DimacsError("dimacs: duplicate problem line");
       f.add_vars(static_cast<std::uint32_t>(vars));
       declared_clauses = static_cast<std::size_t>(clauses);
       header_seen = true;
@@ -33,11 +59,12 @@ Cnf read_dimacs(std::istream& in) {
     }
     if (!header_seen) throw DimacsError("dimacs: literal before problem line");
     int d = 0;
-    try {
-      d = std::stoi(token);
-    } catch (const std::exception&) {
+    if (!parse_int_token(token, d))
       throw DimacsError("dimacs: not a literal: " + token);
-    }
+    // INT_MIN has no representable negation; Lit::from_dimacs would hit
+    // signed-overflow UB before the range check below could reject it.
+    if (d == std::numeric_limits<int>::min())
+      throw DimacsError("dimacs: literal out of range: " + token);
     if (d == 0) {
       f.add_clause(clause);
       clause.clear();

@@ -1,0 +1,137 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace csat::fault {
+
+namespace {
+
+/// Process-wide injection state. Config fields are individually atomic so
+/// sites never take a lock: a torn *set* is impossible (configure() stores
+/// enabled last with release ordering, sites load it first with acquire).
+struct State {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> seed{0};
+  std::atomic<std::uint32_t> rate_permille{50};
+  std::atomic<std::uint32_t> mask{0xFu};
+  std::atomic<std::uint64_t> arrivals[kNumPoints] = {};
+  std::atomic<std::uint64_t> fired[kNumPoints] = {};
+  std::once_flag env_once;
+  std::atomic<bool> configured{false};  ///< configure() beats the environment
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// CSAT_FAULT_INJECT=seed[:rate_permille[:mask]] — parsed once, announced
+/// on stderr (a lane with the variable leaked would otherwise silently
+/// inject faults into every measurement).
+void load_env() {
+  State& s = state();
+  std::call_once(s.env_once, [&s] {
+    if (s.configured.load(std::memory_order_acquire)) return;
+    const char* env = std::getenv("CSAT_FAULT_INJECT");
+    if (env == nullptr || env[0] == '\0') return;
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(env, &end, 10);
+    std::uint32_t rate = 50;
+    std::uint32_t mask = 0xFu;
+    if (*end == ':') {
+      const unsigned long long r = std::strtoull(end + 1, &end, 10);
+      rate = static_cast<std::uint32_t>(r > 1000 ? 1000 : r);
+      if (*end == ':')
+        mask = static_cast<std::uint32_t>(std::strtoull(end + 1, &end, 10)) &
+               0xFu;
+    }
+    s.seed.store(seed, std::memory_order_relaxed);
+    s.rate_permille.store(rate, std::memory_order_relaxed);
+    s.mask.store(mask, std::memory_order_relaxed);
+    s.enabled.store(true, std::memory_order_release);
+    std::fprintf(stderr,
+                 "csat: CSAT_FAULT_INJECT active — seed=%llu rate=%u/1000 "
+                 "mask=0x%x\n",
+                 seed, rate, mask);
+  });
+}
+
+}  // namespace
+
+void configure(const Config& config) {
+  State& s = state();
+  s.configured.store(true, std::memory_order_release);
+  s.seed.store(config.seed, std::memory_order_relaxed);
+  s.rate_permille.store(
+      config.rate_permille > 1000 ? 1000 : config.rate_permille,
+      std::memory_order_relaxed);
+  s.mask.store(config.mask & 0xFu, std::memory_order_relaxed);
+  for (auto& a : s.arrivals) a.store(0, std::memory_order_relaxed);
+  for (auto& f : s.fired) f.store(0, std::memory_order_relaxed);
+  s.enabled.store(config.enabled, std::memory_order_release);
+}
+
+Config current() {
+  load_env();
+  State& s = state();
+  Config c;
+  c.enabled = s.enabled.load(std::memory_order_acquire);
+  c.seed = s.seed.load(std::memory_order_relaxed);
+  c.rate_permille = s.rate_permille.load(std::memory_order_relaxed);
+  c.mask = s.mask.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::uint64_t fired(Point point) {
+  return state().fired[static_cast<std::uint32_t>(point)].load(
+      std::memory_order_relaxed);
+}
+
+bool should_fire(Point point) {
+  load_env();
+  State& s = state();
+  if (!s.enabled.load(std::memory_order_acquire)) return false;
+  const auto idx = static_cast<std::uint32_t>(point);
+  if ((s.mask.load(std::memory_order_relaxed) & (1u << idx)) == 0)
+    return false;
+  // The decision is a pure function of (seed, point, arrival index): a
+  // soak failure replays from its seed regardless of thread interleaving
+  // *per point* (arrival order across points is scheduling-dependent, but
+  // each point's k-th arrival always decides the same way).
+  const std::uint64_t n =
+      s.arrivals[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = mix64(s.seed.load(std::memory_order_relaxed) ^
+                                (static_cast<std::uint64_t>(idx) << 56) ^ n);
+  const bool fire = h % 1000 <
+                    s.rate_permille.load(std::memory_order_relaxed);
+  if (fire) s.fired[idx].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void maybe_throw(Point point, const char* what) {
+  if (should_fire(point)) throw FaultInjected(what);
+}
+
+void maybe_alloc_fail() {
+  if (should_fire(Point::kAllocFail)) throw std::bad_alloc();
+}
+
+void maybe_slow() {
+  if (!should_fire(Point::kSlowSolve)) return;
+  State& s = state();
+  const std::uint64_t n =
+      s.fired[static_cast<std::uint32_t>(Point::kSlowSolve)].load(
+          std::memory_order_relaxed);
+  const std::uint64_t ms =
+      5 + mix64(s.seed.load(std::memory_order_relaxed) ^ ~n) % 16;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace csat::fault

@@ -43,12 +43,24 @@ BatchResult run_batch(const std::vector<aig::Aig>& instances,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= instances.size()) return;
-      if (options.proof_sink) {
-        PipelineOptions popt = options.pipeline;
-        popt.proof = options.proof_sink(i);
-        batch.results[i] = solve_instance(instances[i], popt);
-      } else {
-        batch.results[i] = solve_instance(instances[i], options.pipeline);
+      // Per-instance crash isolation: drain() runs on bare std::threads,
+      // where an escaped exception would std::terminate the process and an
+      // early return would silently drop every remaining instance. A throw
+      // costs exactly one result (kUnknown + .error) and the drain goes on.
+      try {
+        if (options.proof_sink) {
+          PipelineOptions popt = options.pipeline;
+          popt.proof = options.proof_sink(i);
+          batch.results[i] = solve_instance(instances[i], popt);
+        } else {
+          batch.results[i] = solve_instance(instances[i], options.pipeline);
+        }
+      } catch (const std::exception& e) {
+        batch.results[i] = PipelineResult{};
+        batch.results[i].error = e.what();
+      } catch (...) {
+        batch.results[i] = PipelineResult{};
+        batch.results[i].error = "non-standard exception";
       }
       if (options.on_result) {
         const std::lock_guard<std::mutex> lock(callback_mutex);
@@ -68,6 +80,7 @@ BatchResult run_batch(const std::vector<aig::Aig>& instances,
 
   batch.seconds = total.seconds();
   for (const PipelineResult& r : batch.results) {
+    if (!r.error.empty()) ++batch.num_faults;
     batch.clauses_exported += r.clauses_exported;
     batch.clauses_imported += r.clauses_imported;
     const cnf::SimplifyStats& s = r.simplify_stats;

@@ -49,6 +49,10 @@ struct BatchResult {
   std::size_t num_sat = 0;
   std::size_t num_unsat = 0;
   std::size_t num_unknown = 0;  ///< per-instance budget exhaustions
+  /// Instances whose pipeline run threw (result carries .error and counts
+  /// toward num_unknown). The batch always completes: a poisoned instance
+  /// costs its own result, never its worker thread or siblings' results.
+  std::size_t num_faults = 0;
   /// Clause-sharing totals summed over every instance's portfolio workers
   /// (zero for the single-solver backend or with sharing disabled).
   std::uint64_t clauses_exported = 0;

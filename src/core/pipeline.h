@@ -100,6 +100,11 @@ struct PipelineOptions {
 
 struct PipelineResult {
   sat::Status status = sat::Status::kUnknown;
+  /// Non-empty when the run died on an exception instead of producing a
+  /// verdict (status stays kUnknown). solve_instance itself lets exceptions
+  /// propagate; run_batch fills this in so one poisoned instance cannot
+  /// take down a whole batch.
+  std::string error;
   double preprocess_seconds = 0.0;
   double solve_seconds = 0.0;
   [[nodiscard]] double total_seconds() const {

@@ -1,6 +1,8 @@
 #include "core/solve_server.h"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -15,6 +17,7 @@
 #include "cnf/cnf_to_aig.h"
 #include "cnf/dimacs.h"
 #include "cnf/tseitin.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "gen/miter.h"
@@ -150,6 +153,11 @@ BuiltInstance build_from_cnf(cnf::Cnf formula, bool want_circuit) {
   return b;
 }
 
+/// Largest variable index an inline `cnf` payload may name. A hostile
+/// literal like 2000000000 would otherwise make ensure_var() allocate
+/// gigabytes of assignment state before the solver even starts.
+constexpr int kMaxInlineVar = 10'000'000;
+
 cnf::Cnf parse_inline_cnf(const std::string& payload) {
   cnf::Cnf f;
   std::istringstream in(payload);
@@ -161,6 +169,11 @@ cnf::Cnf parse_inline_cnf(const std::string& payload) {
     const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), lit);
     if (ec != std::errc{} || p != tok.data() + tok.size())
       throw std::runtime_error("inline cnf: not a literal: " + tok);
+    // INT_MIN has no representable negation, so Lit::from_dimacs would hit
+    // signed overflow before the range check below could reject it.
+    if (lit == std::numeric_limits<int>::min() ||
+        (lit < 0 ? -lit : lit) > kMaxInlineVar)
+      throw std::runtime_error("inline cnf: literal out of range: " + tok);
     if (lit == 0) {
       f.add_clause(clause);
       clause.clear();
@@ -198,6 +211,32 @@ aig::Aig build_family(const std::string& spec) {
     p.num_pis = static_cast<int>(arg(1, 8, 1, 4096));
     p.num_gates = static_cast<int>(arg(2, 100, 0, 1u << 20));
     return gen::random_aig(p, arg(3, 1, 0, kNoConflicts));
+  }
+  if (name == "php") {
+    // Pigeonhole principle PHP(holes+1, holes), bridged to an AIG so every
+    // backend can take it: UNSAT and resolution-hard, the canonical
+    // stressor for deadline/overload testing — every other family here
+    // solves in milliseconds at any size this protocol accepts.
+    if (parts.size() != 2) throw std::runtime_error("family php:<holes>");
+    const int holes = static_cast<int>(arg(1, 0, 1, 64));
+    const int pigeons = holes + 1;
+    cnf::Cnf f;
+    f.add_vars(static_cast<std::uint32_t>(pigeons * holes));
+    const auto var = [&](int p, int h) {
+      return static_cast<std::uint32_t>(p * holes + h);
+    };
+    for (int p = 0; p < pigeons; ++p) {
+      std::vector<cnf::Lit> clause;
+      for (int h = 0; h < holes; ++h)
+        clause.push_back(cnf::Lit::make(var(p, h), false));
+      f.add_clause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+      for (int p1 = 0; p1 < pigeons; ++p1)
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+          f.add_binary(cnf::Lit::make(var(p1, h), true),
+                       cnf::Lit::make(var(p2, h), true));
+    return cnf::cnf_to_aig(f);
   }
   if (name == "suite") {
     if (parts.size() != 4)
@@ -263,14 +302,27 @@ BuiltInstance build_instance(const ServerRequest& request) {
 std::string ServerResponse::to_json() const {
   std::string out = "{\"id\":";
   append_json_string(out, id);
+  // Overload responses are deliberately short: the request was shed at
+  // admission, so there is no verdict, no stats, nothing but the backoff
+  // hint — and they must stay cheap to produce under exactly the load that
+  // triggers them.
+  if (overloaded) {
+    out += ",\"status\":\"OVERLOAD\",\"retry_after_ms\":" +
+           std::to_string(retry_after_ms);
+    out += '}';
+    return out;
+  }
   if (!error.empty()) {
     out += ",\"error\":";
     append_json_string(out, error);
+    if (worker_fault) out += ",\"worker_fault\":true";
     out += '}';
     return out;
   }
   out += ",\"status\":\"";
-  out += status_name(status);
+  // A timed-out solve reports TIMEOUT instead of UNKNOWN: the stats below
+  // are the partial effort spent before the watchdog fired.
+  out += timed_out ? "TIMEOUT" : status_name(status);
   out += "\",\"cache\":\"";
   out += cache;
   out += "\",\"backend\":\"";
@@ -290,6 +342,11 @@ std::string ServerResponse::to_json() const {
   }
   out += "\",\"seconds\":";
   append_double(out, seconds);
+  if (degraded) out += ",\"degraded\":true";
+  if (!reason.empty()) {
+    out += ",\"reason\":";
+    append_json_string(out, reason);
+  }
   if (cache[0] == 'h') {
     out += ",\"cached_seconds\":";
     append_double(out, cached_seconds);
@@ -393,26 +450,85 @@ void SolveServer::start() {
   if (running_) return;
   stopping_ = false;
   cancel_.store(false, std::memory_order_relaxed);
+  slots_.clear();
+  for (std::size_t i = 0; i < options_.num_workers; ++i)
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  {
+    const std::lock_guard<std::mutex> dlock(deadline_mutex_);
+    watchdog_stop_ = false;
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
   workers_.reserve(options_.num_workers);
   for (std::size_t i = 0; i < options_.num_workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   running_ = true;
 }
 
 bool SolveServer::submit(ServerRequest request) {
   start();
-  std::unique_lock<std::mutex> lock(mutex_);
-  queue_pop_.wait(lock, [&] {
-    return stopping_ || queue_.size() < options_.queue_capacity;
-  });
-  if (stopping_) return false;
-  if (request.id.empty()) {
-    // Built char-by-char: assigning a string literal here trips a GCC 12
-    // -Wrestrict false positive (PR105329) once inlined.
-    request.id.assign(1, 'r');
-    request.id += std::to_string(++next_id_);
+  // Deadlines are measured from here: queue wait is part of the promise
+  // made to the client, not free time.
+  request.submitted_at = std::chrono::steady_clock::now();
+  ServerResponse overload;
+  bool shed = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto has_space = [&] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    };
+    if (!stopping_) {
+      if (options_.shed_watermark != 0 &&
+          queue_.size() >= options_.shed_watermark) {
+        // Past the watermark the queue is already a liability: answer
+        // OVERLOAD now instead of making the client wait to be told later.
+        shed = true;
+      } else if (!has_space()) {
+        if (options_.max_queue_wait_ms >= 0) {
+          shed = !queue_pop_.wait_for(
+              lock, std::chrono::milliseconds(options_.max_queue_wait_ms),
+              has_space);
+        } else {
+          queue_pop_.wait(lock, has_space);  // legacy: block indefinitely
+        }
+      }
+    }
+    if (stopping_) return false;
+    if (request.id.empty()) {
+      // Built char-by-char: assigning a string literal here trips a GCC 12
+      // -Wrestrict false positive (PR105329) once inlined.
+      request.id.assign(1, 'r');
+      request.id += std::to_string(++next_id_);
+    }
+    if (shed) {
+      overload.id = request.id;
+      overload.backend = request.backend;
+      overload.overloaded = true;
+      // Backoff hint: roughly how long the current queue takes to drain at
+      // the observed per-request pace, clamped to something a client can
+      // actually sleep on.
+      const std::size_t depth = queue_.size();
+      double per_request = 0.1;
+      {
+        const std::lock_guard<std::mutex> clock(counters_mutex_);
+        if (ema_request_seconds_ > 0.0) per_request = ema_request_seconds_;
+      }
+      const double est_ms = per_request * 1000.0 *
+                            static_cast<double>(depth + 1) /
+                            static_cast<double>(options_.num_workers);
+      overload.retry_after_ms = static_cast<std::uint64_t>(
+          std::clamp(est_ms, 1.0, 30000.0));
+    } else {
+      queue_.push_back(std::move(request));
+    }
   }
-  queue_.push_back(std::move(request));
+  if (shed) {
+    {
+      const std::lock_guard<std::mutex> clock(counters_mutex_);
+      ++counters_.overloads;
+    }
+    emit(overload);
+    return false;
+  }
   {
     const std::lock_guard<std::mutex> clock(counters_mutex_);
     ++counters_.received;
@@ -430,54 +546,216 @@ void SolveServer::drain() {
 
 void SolveServer::stop() {
   std::vector<std::thread> workers;
+  std::thread watchdog;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) return;
     stopping_ = true;
     cancel_.store(true, std::memory_order_relaxed);
     workers.swap(workers_);
+    watchdog.swap(watchdog_);
     queue_push_.notify_all();
     queue_pop_.notify_all();
     idle_.notify_all();
   }
+  {
+    // Shutdown reaches in-flight solves through their per-worker cancel
+    // slots (each solve's Limits::terminate points at its slot, not at
+    // cancel_, so the deadline watchdog can cancel requests individually).
+    const std::lock_guard<std::mutex> dlock(deadline_mutex_);
+    watchdog_stop_ = true;
+    for (const auto& slot : slots_)
+      slot->cancel.store(true, std::memory_order_relaxed);
+  }
+  deadline_cv_.notify_all();
   in_flight_cv_.notify_all();  // release workers parked on a duplicate
   for (std::thread& t : workers) t.join();
+  if (watchdog.joinable()) watchdog.join();
   const std::lock_guard<std::mutex> lock(mutex_);
   running_ = false;
   stopping_ = false;
   cancel_.store(false, std::memory_order_relaxed);
 }
 
-void SolveServer::worker_loop() {
+void SolveServer::watchdog_loop() {
+  // One monitor thread for the whole pool: sleeps until the earliest armed
+  // deadline, then flips that worker's cancel slot. The solver notices at
+  // its next budget checkpoint, so the response lands within the deadline
+  // plus one checkpoint interval (the epsilon documented in PROTOCOL.md).
+  std::unique_lock<std::mutex> lock(deadline_mutex_);
+  for (;;) {
+    if (watchdog_stop_) return;
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& slot : slots_)
+      if (slot->armed && slot->expiry < next) next = slot->expiry;
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      deadline_cv_.wait(lock);
+    } else {
+      deadline_cv_.wait_until(lock, next);
+    }
+    if (watchdog_stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    bool fired = false;
+    for (const auto& slot : slots_) {
+      if (slot->armed && now >= slot->expiry) {
+        slot->cancel.store(true, std::memory_order_relaxed);
+        slot->timed_out = true;
+        slot->armed = false;
+        fired = true;
+      }
+    }
+    // A deadline'd worker may be parked on the singleflight CV waiting for
+    // another worker's verdict; wake it so it can notice its cancel slot.
+    if (fired) in_flight_cv_.notify_all();
+  }
+}
+
+void SolveServer::release_leadership(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(in_flight_mutex_);
+  in_flight_.erase(key);
+  in_flight_cv_.notify_all();
+}
+
+void SolveServer::worker_loop(std::size_t index) {
+  WorkerSlot& slot = *slots_[index];
   // The persistent solver this worker reuses across requests: reset()
   // keeps the arena / watch-list / trail capacity warm, so steady-state
-  // sequential solving allocates nothing beyond formula growth.
-  sat::Solver solver(options_.solver);
+  // sequential solving allocates nothing beyond formula growth. Held by
+  // unique_ptr so a crash-isolated worker fault can rebuild it (the solver
+  // may have been mid-mutation when the exception unwound through it).
+  auto solver = std::make_unique<sat::Solver>(options_.solver);
   for (;;) {
     ServerRequest request;
+    bool degrade = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_push_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and fully drained
       request = std::move(queue_.front());
       queue_.pop_front();
+      // Degradation decision is made at dequeue time against live queue
+      // depth: pressure when the request *starts*, not when it arrived.
+      degrade = options_.degrade_watermark != 0 &&
+                queue_.size() >= options_.degrade_watermark;
       ++active_;
       queue_pop_.notify_one();
+    }
+
+    const std::uint64_t deadline_ms = request.deadline_ms != 0
+                                          ? request.deadline_ms
+                                          : options_.default_deadline_ms;
+    const auto expiry =
+        request.submitted_at + std::chrono::milliseconds(deadline_ms);
+    bool already_expired = false;
+    {
+      const std::lock_guard<std::mutex> dlock(deadline_mutex_);
+      slot.cancel.store(cancel_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      slot.timed_out = false;
+      slot.armed = false;
+      if (deadline_ms != 0) {
+        if (std::chrono::steady_clock::now() >= expiry) {
+          already_expired = true;  // spent its whole deadline in the queue
+        } else {
+          slot.expiry = expiry;
+          slot.armed = true;
+          deadline_cv_.notify_one();  // watchdog re-picks earliest expiry
+        }
+      }
     }
 
     ServerResponse response;
     if (cancel_.load(std::memory_order_relaxed)) {
       response.id = request.id;
       response.error = "server stopped before solving";
+    } else if (already_expired) {
+      response.id = request.id;
+      response.backend = request.backend;
+      response.timed_out = true;
     } else {
-      response = process(request, solver);
+      // Crash isolation: a worker exception — injected fault, allocation
+      // failure, solver defect — becomes an error response for THIS request
+      // and the worker keeps serving. One request in, one response out,
+      // even when the response is "I crashed".
+      try {
+        response = process(request, *solver, slot.cancel, degrade);
+      } catch (const std::exception& e) {
+        response = ServerResponse{};
+        response.id = request.id;
+        response.backend = request.backend;
+        response.error = std::string("worker fault: ") + e.what();
+        response.worker_fault = true;
+      } catch (...) {
+        response = ServerResponse{};
+        response.id = request.id;
+        response.backend = request.backend;
+        response.error = "worker fault: non-standard exception";
+        response.worker_fault = true;
+      }
+      if (response.worker_fault)
+        solver = std::make_unique<sat::Solver>(options_.solver);
+    }
+
+    bool deadline_expired = already_expired;
+    if (deadline_ms != 0 && !already_expired) {
+      const std::lock_guard<std::mutex> dlock(deadline_mutex_);
+      slot.armed = false;
+      deadline_expired =
+          slot.timed_out || std::chrono::steady_clock::now() >= expiry;
+    }
+    // Timeout classification: only an inconclusive verdict becomes TIMEOUT.
+    // A solve that beat the watchdog to a real answer (or a cache hit
+    // served after expiry) still reports that answer.
+    if (deadline_expired && response.error.empty() &&
+        response.status == sat::Status::kUnknown) {
+      response.timed_out = true;
+    }
+
+    // expect= is evaluated here, after outcome classification, so it can
+    // assert error and timeout shapes — not just verdicts.
+    if (request.expect.has_value()) {
+      response.has_expect = true;
+      const Expectation e = *request.expect;
+      if (!response.error.empty()) {
+        response.expect_ok = e == Expectation::kError;
+      } else if (response.timed_out) {
+        response.expect_ok = e == Expectation::kTimeout;
+      } else {
+        switch (e) {
+          case Expectation::kSat:
+            response.expect_ok = response.status == sat::Status::kSat;
+            break;
+          case Expectation::kUnsat:
+            response.expect_ok = response.status == sat::Status::kUnsat;
+            break;
+          case Expectation::kUnknown:
+            response.expect_ok = response.status == sat::Status::kUnknown;
+            break;
+          case Expectation::kError:
+          case Expectation::kTimeout:
+            response.expect_ok = false;
+            break;
+        }
+      }
     }
 
     {
       const std::lock_guard<std::mutex> clock(counters_mutex_);
       ++counters_.completed;
+      constexpr double kAlpha = 0.2;
+      ema_request_seconds_ =
+          ema_request_seconds_ == 0.0
+              ? response.seconds
+              : (1.0 - kAlpha) * ema_request_seconds_ +
+                    kAlpha * response.seconds;
       if (!response.error.empty()) {
         ++counters_.errors;
+        if (response.worker_fault) ++counters_.worker_faults;
+        if (!(request.expect.has_value() &&
+              *request.expect == Expectation::kError))
+          ++counters_.unexpected_errors;
+      } else if (response.timed_out) {
+        ++counters_.timeouts;
       } else {
         switch (response.status) {
           case sat::Status::kSat:
@@ -490,9 +768,11 @@ void SolveServer::worker_loop() {
             ++counters_.unknown;
             break;
         }
-        if (response.has_expect && !response.expect_ok)
-          ++counters_.expect_failures;
+        if (response.reason == "memout") ++counters_.memouts;
       }
+      if (response.degraded) ++counters_.degraded;
+      if (response.has_expect && !response.expect_ok)
+        ++counters_.expect_failures;
     }
     emit(response);
 
@@ -505,14 +785,27 @@ void SolveServer::worker_loop() {
 }
 
 ServerResponse SolveServer::process(ServerRequest& request,
-                                    sat::Solver& solver) {
+                                    sat::Solver& solver,
+                                    std::atomic<bool>& cancel_flag,
+                                    bool degrade) {
   ServerResponse response;
   response.id = request.id;
+  // Graceful degradation ladder, applied before anything expensive: under
+  // queue pressure a request keeps its verdict semantics but sheds cost —
+  // no preprocessing, a conflict cap (merged into limits below), and a
+  // portfolio collapsed to one sequential solver instead of N threads.
+  if (degrade) {
+    response.degraded = true;
+    request.simplify = false;
+    if (request.backend == SolveBackend::kPortfolio)
+      request.backend = SolveBackend::kSingle;
+  }
   response.backend = request.backend;
   Stopwatch watch;
 
   BuiltInstance built;
   try {
+    fault::maybe_throw(fault::Point::kParseGarbage, "injected parse fault");
     built = build_instance(request);
   } catch (const std::exception& e) {
     response.error = e.what();
@@ -521,6 +814,9 @@ ServerResponse SolveServer::process(ServerRequest& request,
   }
   response.vars = built.formula.num_vars();
   response.clauses = built.formula.num_clauses();
+  // Deliberately *outside* the try above: an injected worker fault must
+  // exercise the worker_loop crash-isolation path, not the build error path.
+  fault::maybe_throw(fault::Point::kWorkerThrow, "injected worker fault");
 
   const bool want_proof = !request.proof_file.empty();
   if (want_proof && request.backend != SolveBackend::kSingle) {
@@ -542,7 +838,19 @@ ServerResponse SolveServer::process(ServerRequest& request,
   response.cache = caching ? "miss" : "off";
 
   bool served_from_cache = false;
-  bool leader = false;
+  // RAII leadership release: if anything below throws (injected fault,
+  // allocation failure) between claiming singleflight leadership and the
+  // normal publish point, parked duplicates would wait forever on a key
+  // nobody is solving. The guard runs on every exit path, and runs *after*
+  // the cache insert in the normal flow, preserving the cache-first,
+  // erase-second publication order.
+  struct LeaderGuard {
+    SolveServer* server = nullptr;
+    std::uint64_t key = 0;
+    ~LeaderGuard() {
+      if (server != nullptr) server->release_leadership(key);
+    }
+  } leader_guard;
   if (caching) {
     // Lookup and leadership claim are atomic (both under in_flight_mutex_;
     // leaders publish cache-first, erase-second), so a request can never
@@ -560,18 +868,22 @@ ServerResponse SolveServer::process(ServerRequest& request,
         break;
       }
       if (in_flight_.insert(built.key).second) {
-        leader = true;  // we solve; duplicates park until our verdict lands
+        // We solve; duplicates park until our verdict lands.
+        leader_guard.server = this;
+        leader_guard.key = built.key;
         break;
       }
       // A structurally identical request is already being solved: park
       // until the leader publishes, then loop to serve the cache hit. If
       // the leader's verdict was kUnknown (budget ran out) the re-lookup
-      // misses and this worker takes over with its own budget.
+      // misses and this worker takes over with its own budget. The wait
+      // also wakes on this worker's own cancel slot — shutdown AND deadline
+      // expiry must both be able to unpark a duplicate.
       in_flight_cv_.wait(lock, [&] {
-        return cancel_.load(std::memory_order_relaxed) ||
+        return cancel_flag.load(std::memory_order_relaxed) ||
                in_flight_.count(built.key) == 0;
       });
-      if (cancel_.load(std::memory_order_relaxed)) break;  // shutdown: fall
+      if (cancel_flag.load(std::memory_order_relaxed)) break;  // fall
       // through to a solve that the terminate hook cancels immediately.
     }
   }
@@ -586,7 +898,19 @@ ServerResponse SolveServer::process(ServerRequest& request,
       limits.max_decisions = request.limits.max_decisions;
     if (!std::isinf(request.limits.max_seconds))
       limits.max_seconds = request.limits.max_seconds;
-    limits.terminate = &cancel_;
+    if (request.limits.hard_memory_bytes != 0)
+      limits.hard_memory_bytes = request.limits.hard_memory_bytes;
+    if (request.limits.soft_memory_bytes != 0)
+      limits.soft_memory_bytes = request.limits.soft_memory_bytes;
+    if (degrade)
+      limits.max_conflicts =
+          std::min(limits.max_conflicts, options_.degraded_max_conflicts);
+    // Per-worker cancel slot, not the global flag: the watchdog cancels
+    // exactly this request at its deadline; stop() flips every slot.
+    limits.terminate = &cancel_flag;
+
+    fault::maybe_slow();
+    fault::maybe_alloc_fail();
 
     std::ofstream proof_stream;
     std::optional<CountingDratTracer> proof;
@@ -698,6 +1022,14 @@ ServerResponse SolveServer::process(ServerRequest& request,
       response.proof_complete = response.status == sat::Status::kUnsat;
     }
 
+    // Hard memory budget stops surface as a typed reason, not a generic
+    // UNKNOWN: clients (and the bench harness) can tell "ran out of RAM
+    // budget" from "ran out of conflicts".
+    if (response.status == sat::Status::kUnknown &&
+        (response.stats.memout_stops > 0 ||
+         response.circuit_stats.memout_stops > 0))
+      response.reason = "memout";
+
     // The cache itself rejects (and counts) kUnknown verdicts: an exhausted
     // budget is not a property of the instance.
     if (caching) {
@@ -708,19 +1040,11 @@ ServerResponse SolveServer::process(ServerRequest& request,
       verdict.model_size = response.model_size;
       cache_.insert(built.key, verdict);
     }
-    if (leader) {
-      // Publish *after* the cache insert so a parked duplicate's re-lookup
-      // is guaranteed to find the fresh entry.
-      const std::lock_guard<std::mutex> lock(in_flight_mutex_);
-      in_flight_.erase(built.key);
-      in_flight_cv_.notify_all();
-    }
+    // Leadership (when held) is released by leader_guard's destructor —
+    // after the cache insert above, so a parked duplicate's re-lookup is
+    // guaranteed to find the fresh entry.
   }
 
-  if (request.expect.has_value()) {
-    response.has_expect = true;
-    response.expect_ok = *request.expect == response.status;
-  }
   response.seconds = watch.seconds();
   return response;
 }
@@ -745,6 +1069,13 @@ void SolveServer::emit_stats_line() {
   line += ",\"sat\":" + std::to_string(c.sat);
   line += ",\"unsat\":" + std::to_string(c.unsat);
   line += ",\"unknown\":" + std::to_string(c.unknown);
+  line += ",\"timeouts\":" + std::to_string(c.timeouts);
+  line += ",\"overloads\":" + std::to_string(c.overloads);
+  line += ",\"degraded\":" + std::to_string(c.degraded);
+  line += ",\"worker_faults\":" + std::to_string(c.worker_faults);
+  line += ",\"memouts\":" + std::to_string(c.memouts);
+  line += ",\"parse_errors\":" + std::to_string(c.parse_errors);
+  line += ",\"unexpected_errors\":" + std::to_string(c.unexpected_errors);
   line += ",\"cache\":{";
   line += "\"hits\":" + std::to_string(cc.hits);
   line += ",\"misses\":" + std::to_string(cc.misses);
@@ -852,6 +1183,26 @@ std::optional<ServerRequest> SolveServer::parse_request(
         return std::nullopt;
       }
       request.limits.max_decisions = v;
+    } else if (key == "deadline_ms") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > 86'400'000) {
+        error = "deadline_ms must be in [1, 86400000]";
+        return std::nullopt;
+      }
+      request.deadline_ms = v;
+    } else if (key == "max_memory_mb") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > (1ull << 20)) {
+        error = "max_memory_mb must be in [1, 1048576]";
+        return std::nullopt;
+      }
+      // The hard cap is the stated budget; the soft cap (forced clause-DB
+      // reduction) kicks in at 7/8 of it so the solver tries to shed learnt
+      // clauses before giving up with reason=memout.
+      request.limits.hard_memory_bytes = v << 20;
+      request.limits.soft_memory_bytes =
+          request.limits.hard_memory_bytes -
+          request.limits.hard_memory_bytes / 8;
     } else if (key == "cache") {
       if (value != "on" && value != "off") {
         error = "cache must be on or off";
@@ -872,11 +1223,17 @@ std::optional<ServerRequest> SolveServer::parse_request(
       request.proof_file = value;
     } else if (key == "expect") {
       if (value == "sat") {
-        request.expect = sat::Status::kSat;
+        request.expect = Expectation::kSat;
       } else if (value == "unsat") {
-        request.expect = sat::Status::kUnsat;
+        request.expect = Expectation::kUnsat;
+      } else if (value == "unknown") {
+        request.expect = Expectation::kUnknown;
+      } else if (value == "error") {
+        request.expect = Expectation::kError;
+      } else if (value == "timeout") {
+        request.expect = Expectation::kTimeout;
       } else {
-        error = "expect must be sat or unsat";
+        error = "expect must be sat, unsat, unknown, error or timeout";
         return std::nullopt;
       }
     } else if (key == "family") {
@@ -926,6 +1283,7 @@ void SolveServer::serve(std::istream& in, std::ostream& out) {
       {
         const std::lock_guard<std::mutex> clock(counters_mutex_);
         ++counters_.errors;
+        ++counters_.parse_errors;
       }
       ServerResponse response;
       response.id = "?";

@@ -35,11 +35,13 @@
 ///                                                    ─▶ respond (JSON line)
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -53,6 +55,18 @@
 #include "sat/solver.h"
 
 namespace csat::core {
+
+/// Verdict self-check for `expect=` (PR 10 widened this beyond SAT/UNSAT so
+/// resilience transcripts can assert their own failure modes): kError
+/// matches any error response, kTimeout matches a deadline-expired
+/// response, and the status values match a clean verdict of that status.
+enum class Expectation : std::uint8_t {
+  kSat,
+  kUnsat,
+  kUnknown,
+  kError,
+  kTimeout,
+};
 
 /// One parsed solve request. Instance payloads are materialized (files
 /// read, families generated, inline DIMACS parsed) by the worker that picks
@@ -75,6 +89,14 @@ struct ServerRequest {
   /// defaults inherit ServerOptions::default_limits; the server wires its
   /// shutdown flag into Limits::terminate.
   sat::Limits limits;
+  /// Wall-clock deadline in milliseconds, measured from submission (queue
+  /// wait counts — a deadline is a promise to the *client*, not to the
+  /// solver). 0 inherits ServerOptions::default_deadline_ms; the watchdog
+  /// thread flips this request's cancel flag at expiry and the response
+  /// reports status=TIMEOUT with whatever partial stats the solve gathered.
+  std::uint64_t deadline_ms = 0;
+  /// Stamped by submit(); the zero point of deadline_ms.
+  std::chrono::steady_clock::time_point submitted_at{};
   bool use_cache = true;
   /// CNF preprocessing override for this request (`simplify=on|off`);
   /// unset inherits ServerOptions::default_simplify. Caching is unaffected
@@ -82,8 +104,10 @@ struct ServerRequest {
   /// computed before any simplification.
   std::optional<bool> simplify;
   /// Self-check: when set, the response's "expect" field reports whether
-  /// the verdict matched, and the server counts mismatches.
-  std::optional<sat::Status> expect;
+  /// the outcome matched, and the server counts mismatches. Evaluated after
+  /// outcome classification, so expect=error and expect=timeout can assert
+  /// the failure paths themselves.
+  std::optional<Expectation> expect;
   /// DRAT proof output (`proof=PATH`): when non-empty, the solve streams a
   /// text DRAT derivation of the *original* formula to this file (simplify
   /// steps included; solver steps translated back through the simplifier's
@@ -105,6 +129,16 @@ struct ServerResponse {
   std::string id;
   std::string error;  ///< empty = success; else no verdict fields are valid
   sat::Status status = sat::Status::kUnknown;
+  /// Robustness outcome classification (PR 10). Exactly one of these four
+  /// shapes per response: overload (short JSON, no verdict fields), error
+  /// (worker_fault marks crash-isolated worker exceptions), timeout
+  /// (status=TIMEOUT, partial stats valid), or a clean verdict.
+  bool timed_out = false;   ///< deadline expired; stats are partial effort
+  bool overloaded = false;  ///< shed at admission; nothing was solved
+  std::uint64_t retry_after_ms = 0;  ///< backoff hint on overload responses
+  bool degraded = false;  ///< served under load-shedding's degraded ladder
+  bool worker_fault = false;  ///< error came from an isolated worker crash
+  std::string reason;  ///< "memout" when a hard memory budget stopped the solve
   const char* cache = "off";  ///< "hit" | "miss" | "off"
   SolveBackend backend = SolveBackend::kSingle;
   double seconds = 0.0;
@@ -157,14 +191,43 @@ struct ServerCounters {
   std::uint64_t sat = 0;
   std::uint64_t unsat = 0;
   std::uint64_t unknown = 0;
+  // Robustness counters (PR 10). Every stream line yields exactly one
+  // response: completed + parse_errors + overloads == lines seen.
+  std::uint64_t timeouts = 0;       ///< deadline-expired responses
+  std::uint64_t overloads = 0;      ///< requests shed at admission
+  std::uint64_t degraded = 0;       ///< responses served degraded
+  std::uint64_t worker_faults = 0;  ///< worker exceptions isolated to errors
+  std::uint64_t memouts = 0;        ///< hard memory budget stops
+  std::uint64_t parse_errors = 0;   ///< malformed stream lines (subset of errors)
+  /// Error responses that were not asserted with expect=error — the
+  /// "something actually went wrong" number a strict harness gates on
+  /// (parse_errors are excluded; they get their own expectation knob).
+  std::uint64_t unexpected_errors = 0;
 };
 
 struct ServerOptions {
   /// Persistent solver workers; 0 = std::thread::hardware_concurrency().
   std::size_t num_workers = 0;
   /// Bounded request queue: submit() blocks once this many requests are
-  /// waiting (back-pressure toward the stream reader).
+  /// waiting (back-pressure toward the stream reader) — unless admission
+  /// control below turns the block into load-shedding.
   std::size_t queue_capacity = 256;
+  /// Admission control: when > 0 and the queue holds at least this many
+  /// requests, submit() sheds immediately with an overload response
+  /// (status=OVERLOAD + retry_after_ms) instead of waiting at all.
+  std::size_t shed_watermark = 0;
+  /// When >= 0 and the queue is full (but under shed_watermark), submit()
+  /// waits at most this long for space before shedding. -1 = legacy
+  /// behaviour: block indefinitely.
+  std::int64_t max_queue_wait_ms = -1;
+  /// Graceful degradation: when > 0 and a worker dequeues a request while
+  /// at least this many others are still queued, the request is served
+  /// degraded — simplify off, conflicts capped at degraded_max_conflicts,
+  /// portfolio collapsed to sequential — and the response says so.
+  std::size_t degrade_watermark = 0;
+  std::uint64_t degraded_max_conflicts = 100000;
+  /// Deadline applied to requests that don't carry deadline_ms=; 0 = none.
+  std::uint64_t default_deadline_ms = 0;
   /// Result-cache entries; 0 disables caching entirely.
   std::size_t cache_capacity = 1024;
   /// Sequential-backend solver configuration, and the lead (index-0) config
@@ -232,8 +295,22 @@ class SolveServer {
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
-  void worker_loop();
-  ServerResponse process(ServerRequest& request, sat::Solver& solver);
+  /// Per-worker cancellation slot. Every solve's Limits::terminate points
+  /// at its worker's `cancel` flag; the watchdog thread flips it when the
+  /// request's deadline expires, and stop() flips all of them. All fields
+  /// but `cancel` are guarded by deadline_mutex_.
+  struct WorkerSlot {
+    std::atomic<bool> cancel{false};
+    std::chrono::steady_clock::time_point expiry{};
+    bool armed = false;     ///< a deadline is being tracked for this worker
+    bool timed_out = false; ///< the watchdog fired for the current request
+  };
+
+  void worker_loop(std::size_t index);
+  void watchdog_loop();
+  ServerResponse process(ServerRequest& request, sat::Solver& solver,
+                         std::atomic<bool>& cancel_flag, bool degrade);
+  void release_leadership(std::uint64_t key);
   void emit(const ServerResponse& response);
   void emit_stats_line();
 
@@ -257,11 +334,22 @@ class SolveServer {
   bool running_ = false;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
-  std::atomic<bool> cancel_{false};  ///< wired into every solve's terminate
+  std::atomic<bool> cancel_{false};  ///< global shutdown; copied into slots
+
+  /// Deadline watchdog: one thread scanning the armed worker slots for the
+  /// earliest expiry. Workers arm/disarm their slot around each request.
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::mutex deadline_mutex_;
+  std::condition_variable deadline_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 
   mutable std::mutex counters_mutex_;
   ServerCounters counters_;
   std::uint64_t next_id_ = 0;  ///< for requests submitted without an id
+  /// EMA of per-request worker seconds, feeding retry_after_ms estimates on
+  /// overload responses. Guarded by counters_mutex_.
+  double ema_request_seconds_ = 0.0;
 
   std::mutex out_mutex_;       ///< serializes stream writes + on_response
   std::ostream* out_ = nullptr;  ///< serve()'s stream; null outside serve()

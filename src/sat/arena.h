@@ -164,6 +164,12 @@ class ClauseArena {
 
   /// Total arena extent in 32-bit words (headers + literals, live + dead).
   [[nodiscard]] std::size_t size_words() const { return data_.size(); }
+  /// Heap footprint in bytes: buffer capacities, including the old storage
+  /// held alive mid-collection — the arena's contribution to the memory
+  /// budgets of sat::Limits.
+  [[nodiscard]] std::size_t bytes() const {
+    return (data_.capacity() + old_.capacity()) * sizeof(std::uint32_t);
+  }
   /// Words occupied by garbage clauses — the payoff of the next compact().
   [[nodiscard]] std::size_t garbage_words() const { return garbage_words_; }
   /// Clauses not marked garbage.

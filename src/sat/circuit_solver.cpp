@@ -776,6 +776,30 @@ Status CircuitSolver::search(const Limits& limits) {
            stats_.decisions >= decision_budget ||
            (timed && watch.seconds() >= limits.max_seconds);
   };
+  // Memory budgets, on the same cadence and with the same semantics as
+  // Solver::search: sampled every 64 conflicts plus once up front, soft cap
+  // forces a spaced-out reduce_db(), hard cap stops with kUnknown.
+  const bool mem_capped =
+      limits.soft_memory_bytes != 0 || limits.hard_memory_bytes != 0;
+  std::uint64_t next_mem_check = stats_.conflicts;
+  std::uint64_t soft_reduce_at = 0;
+  const auto memory_exhausted = [&]() -> bool {
+    if (!mem_capped || stats_.conflicts < next_mem_check) return false;
+    next_mem_check = stats_.conflicts + 64;
+    std::uint64_t bytes = memory_bytes();
+    if (limits.soft_memory_bytes != 0 && bytes > limits.soft_memory_bytes &&
+        stats_.conflicts >= soft_reduce_at) {
+      soft_reduce_at = stats_.conflicts + 512;
+      reduce_db();
+      ++stats_.memory_reductions;
+      bytes = memory_bytes();
+    }
+    if (limits.hard_memory_bytes != 0 && bytes > limits.hard_memory_bytes) {
+      ++stats_.memout_stops;
+      return true;
+    }
+    return false;
+  };
   if (luby_budget_ == 0)
     luby_budget_ = luby(++luby_index_) * config_.luby_unit;
   if (reduce_budget_ == 0) reduce_budget_ = config_.reduce_first;
@@ -783,6 +807,10 @@ Status CircuitSolver::search(const Limits& limits) {
   for (;;) {
     if (limits.terminate != nullptr &&
         limits.terminate->load(std::memory_order_relaxed)) {
+      backtrack(0);
+      return Status::kUnknown;
+    }
+    if (memory_exhausted()) {
       backtrack(0);
       return Status::kUnknown;
     }
@@ -849,6 +877,28 @@ Status CircuitSolver::solve(const Limits& limits) {
   if (!ok_) return Status::kUnsat;
   if (forced_sat_) return finish_sat();
   return search(limits);
+}
+
+std::uint64_t CircuitSolver::memory_bytes() const {
+  // The learnt-clause arena and watch lists are the only parts that grow
+  // during search; the flat per-node circuit arrays are counted so a hard
+  // cap below the instance's own footprint trips immediately.
+  std::uint64_t total = arena_.bytes() + watch_.bytes() + bin_watch_.bytes();
+  total += is_gate_.capacity() * sizeof(std::uint8_t);
+  total += (fanin0_.capacity() + fanin1_.capacity()) * sizeof(Lit);
+  total += (fanout_off_.capacity() + fanout_.capacity() +
+            pi_nodes_.capacity() + trail_lim_.capacity() +
+            level_.capacity() + lbd_stamp_.capacity()) *
+           sizeof(std::uint32_t);
+  total += (value_.capacity() + phase_.capacity() + seen_.capacity() +
+            in_frontier_.capacity()) *
+           sizeof(std::uint8_t);
+  total += trail_.capacity() * sizeof(Lit);
+  total += reason_.capacity() * sizeof(Reason);
+  total += activity_.capacity() * sizeof(double);
+  total += frontier_.capacity() * sizeof(FrontierEntry);
+  total += learnt_refs_.capacity() * sizeof(ClauseRef);
+  return total;
 }
 
 // ---------------------------------------------------------------------------

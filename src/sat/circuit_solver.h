@@ -133,6 +133,10 @@ struct CircuitStats {
   /// Largest frontier candidate-heap size observed at a decision — an upper
   /// bound on the live frontier (stale entries are dropped lazily at pop).
   std::uint64_t max_frontier = 0;
+  /// Memory-budget twins of sat::Stats (Limits::soft/hard_memory_bytes are
+  /// enforced at the same checkpoint cadence as the CNF engine's).
+  std::uint64_t memory_reductions = 0;
+  std::uint64_t memout_stops = 0;
 };
 
 class CircuitSolver {
@@ -168,6 +172,11 @@ class CircuitSolver {
   [[nodiscard]] const CircuitStats& stats() const { return stats_; }
   [[nodiscard]] const CircuitSolverConfig& config() const { return config_; }
   [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Current heap footprint in bytes (learnt-clause arena + watch lists +
+  /// per-node state) — the quantity the Limits memory budgets cap, the
+  /// circuit twin of Solver::memory_bytes().
+  [[nodiscard]] std::uint64_t memory_bytes() const;
 
   /// Debug walker (tests only; O(circuit + clause database)) — the
   /// justification twin of Solver::check_watches(). Verifies, between

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "cnf/tseitin.h"
@@ -100,29 +101,42 @@ PortfolioResult solve_portfolio(const Cnf& formula,
   }
 
   auto run_worker = [&](std::size_t i) {
+    // The whole body is exception-guarded: workers run on bare std::threads,
+    // where an escaped exception would std::terminate the process. A worker
+    // that throws (allocation failure, injected fault, solver defect)
+    // records a faulted kUnknown outcome and the race continues on the
+    // survivors.
     Stopwatch watch;
-    Solver solver(configs[i]);
-    solver.add_formula(formula);
-    if (share) {
-      SharingLimits limits_for_worker;
-      limits_for_worker.max_lbd = options.sharing.max_lbd;
-      limits_for_worker.max_size = options.sharing.max_size;
-      limits_for_worker.adaptive = options.sharing.adaptive;
-      limits_for_worker.adaptive_min_lbd = options.sharing.adaptive_min_lbd;
-      limits_for_worker.adaptive_max_lbd = options.sharing.adaptive_max_lbd;
-      limits_for_worker.import_at_fixpoint = options.sharing.import_at_fixpoint;
-      solver.connect_exchange(&*exchange, i, limits_for_worker);
+    try {
+      fault::maybe_throw(fault::Point::kWorkerThrow, "portfolio worker");
+      Solver solver(configs[i]);
+      solver.add_formula(formula);
+      if (share) {
+        SharingLimits limits_for_worker;
+        limits_for_worker.max_lbd = options.sharing.max_lbd;
+        limits_for_worker.max_size = options.sharing.max_size;
+        limits_for_worker.adaptive = options.sharing.adaptive;
+        limits_for_worker.adaptive_min_lbd = options.sharing.adaptive_min_lbd;
+        limits_for_worker.adaptive_max_lbd = options.sharing.adaptive_max_lbd;
+        limits_for_worker.import_at_fixpoint =
+            options.sharing.import_at_fixpoint;
+        solver.connect_exchange(&*exchange, i, limits_for_worker);
+      }
+      Limits limits = options.limits;
+      if (!options.deterministic) limits.terminate = &stop;
+      const Status status = solver.solve(limits);
+      result.workers[i].status = status;
+      result.workers[i].stats = solver.stats();
+      result.workers[i].seconds = watch.seconds();
+      if (status == Status::kUnknown) return;
+      if (status == Status::kSat) models[i] = solver.model();
+      std::size_t expected = PortfolioResult::kNoWinner;
+      if (winner.compare_exchange_strong(expected, i)) stop.store(true);
+    } catch (...) {
+      result.workers[i].status = Status::kUnknown;
+      result.workers[i].faulted = true;
+      result.workers[i].seconds = watch.seconds();
     }
-    Limits limits = options.limits;
-    if (!options.deterministic) limits.terminate = &stop;
-    const Status status = solver.solve(limits);
-    result.workers[i].status = status;
-    result.workers[i].stats = solver.stats();
-    result.workers[i].seconds = watch.seconds();
-    if (status == Status::kUnknown) return;
-    if (status == Status::kSat) models[i] = solver.model();
-    std::size_t expected = PortfolioResult::kNoWinner;
-    if (winner.compare_exchange_strong(expected, i)) stop.store(true);
   };
 
   if (n == 1) {
@@ -149,6 +163,7 @@ PortfolioResult solve_portfolio(const Cnf& formula,
   }
   result.seconds = total.seconds();
   for (const WorkerOutcome& w : result.workers) {
+    if (w.faulted) ++result.worker_faults;
     result.clauses_exported += w.stats.exported;
     result.clauses_imported += w.stats.imported;
     result.total_propagations += w.stats.propagations;
@@ -222,17 +237,31 @@ CircuitRaceResult solve_circuit_race(const aig::Aig& g,
   if (options.deterministic) {
     // Sequential, no cancellation: both arms run to their own verdict or
     // budget, and the circuit arm's verdict is preferred when definitive.
+    // Each arm is exception-guarded like the racing path so a crashed arm
+    // degrades to kUnknown instead of unwinding into the caller.
     {
       Stopwatch watch;
-      CircuitSolver solver(options.circuit);
-      solver.load(g);
-      result.circuit_status = solver.solve(options.limits);
-      result.circuit_stats = solver.stats();
-      if (result.circuit_status == Status::kSat)
-        circuit_witness = solver.witness();
+      try {
+        fault::maybe_throw(fault::Point::kWorkerThrow, "circuit race arm");
+        CircuitSolver solver(options.circuit);
+        solver.load(g);
+        result.circuit_status = solver.solve(options.limits);
+        result.circuit_stats = solver.stats();
+        if (result.circuit_status == Status::kSat)
+          circuit_witness = solver.witness();
+      } catch (...) {
+        result.circuit_status = Status::kUnknown;
+        ++result.arm_faults;
+      }
       result.circuit_seconds = watch.seconds();
     }
-    cnf_witness = run_cnf_arm(g, options.solver, options.limits, result);
+    try {
+      fault::maybe_throw(fault::Point::kWorkerThrow, "cnf race arm");
+      cnf_witness = run_cnf_arm(g, options.solver, options.limits, result);
+    } catch (...) {
+      result.cnf_status = Status::kUnknown;
+      ++result.arm_faults;
+    }
   } else {
     std::atomic<bool> stop{false};
     std::atomic<int> winner{-1};
@@ -262,25 +291,42 @@ CircuitRaceResult solve_circuit_race(const aig::Aig& g,
         stop.store(true);
     };
 
+    // Both arm bodies are exception-guarded: they run on bare std::threads,
+    // where an escaped exception would std::terminate the process. A
+    // crashed arm becomes a kUnknown verdict and the other arm keeps going.
+    std::atomic<std::uint64_t> arm_faults{0};
     std::thread circuit_thread([&] {
       Stopwatch watch;
-      CircuitSolver solver(options.circuit);
-      solver.load(g);
-      result.circuit_status = solver.solve(limits);
-      result.circuit_stats = solver.stats();
-      if (result.circuit_status == Status::kSat)
-        circuit_witness = solver.witness();
+      try {
+        fault::maybe_throw(fault::Point::kWorkerThrow, "circuit race arm");
+        CircuitSolver solver(options.circuit);
+        solver.load(g);
+        result.circuit_status = solver.solve(limits);
+        result.circuit_stats = solver.stats();
+        if (result.circuit_status == Status::kSat)
+          circuit_witness = solver.witness();
+        claim(Arm::kCircuit, result.circuit_status);
+      } catch (...) {
+        result.circuit_status = Status::kUnknown;
+        arm_faults.fetch_add(1, std::memory_order_relaxed);
+      }
       result.circuit_seconds = watch.seconds();
-      claim(Arm::kCircuit, result.circuit_status);
     });
     std::thread cnf_thread([&] {
-      cnf_witness = run_cnf_arm(g, options.solver, limits, result);
-      claim(Arm::kCnf, result.cnf_status);
+      try {
+        fault::maybe_throw(fault::Point::kWorkerThrow, "cnf race arm");
+        cnf_witness = run_cnf_arm(g, options.solver, limits, result);
+        claim(Arm::kCnf, result.cnf_status);
+      } catch (...) {
+        result.cnf_status = Status::kUnknown;
+        arm_faults.fetch_add(1, std::memory_order_relaxed);
+      }
     });
     circuit_thread.join();
     cnf_thread.join();
     stop.store(true);  // release the watcher when neither arm ever finished
     if (watcher.joinable()) watcher.join();
+    result.arm_faults = arm_faults.load();
     if (winner.load() >= 0) result.winner = static_cast<Arm>(winner.load());
   }
 

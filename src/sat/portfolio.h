@@ -108,6 +108,11 @@ struct WorkerOutcome {
   Status status = Status::kUnknown;  ///< kUnknown = cancelled or out of budget
   Stats stats;          ///< this worker's full search counters
   double seconds = 0.0;  ///< wall-clock time this worker ran
+  /// The worker died on an exception (allocation failure, injected fault,
+  /// solver defect). The race swallows it — a crashed worker is just a
+  /// kUnknown outcome, never a crashed process — because workers run on
+  /// bare std::threads where an escaped exception would std::terminate.
+  bool faulted = false;
 };
 
 struct PortfolioResult {
@@ -136,6 +141,10 @@ struct PortfolioResult {
   std::uint64_t total_watcher_relocations = 0;
   /// Summed watch-storage footprint gauges at each worker's exit.
   std::uint64_t total_watch_bytes = 0;
+  /// Workers that died on an exception (each also reports a faulted
+  /// kUnknown outcome in workers[]). The answer stays sound as long as any
+  /// worker survives; all-faulted races report kUnknown.
+  std::uint64_t worker_faults = 0;
   double seconds = 0.0;  ///< wall-clock time of the whole race
 };
 
@@ -185,6 +194,9 @@ struct CircuitRaceResult {
   Stats cnf_stats;
   double circuit_seconds = 0.0;
   double cnf_seconds = 0.0;
+  /// Arms that died on an exception — reported as a kUnknown verdict for
+  /// that arm, never rethrown (the arms run on bare std::threads).
+  std::uint64_t arm_faults = 0;
   /// PI assignment (indexed by PI order) when status == kSat, regardless of
   /// which arm won — the CNF arm's model is projected back onto the PIs, so
   /// callers see one witness format.

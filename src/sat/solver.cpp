@@ -1246,6 +1246,7 @@ Status Solver::solve(const Limits& limits) {
   stats_.watch_bytes = watch_bytes_now();
   stats_.watcher_relocations =
       watch_flat_.relocations() + bin_watch_.relocations();
+  stats_.memory_bytes = memory_bytes();
   return status;
 }
 
@@ -1253,6 +1254,24 @@ std::uint64_t Solver::watch_bytes_now() const {
   if (config_.flat_watch) return watch_flat_.bytes() + bin_watch_.bytes();
   std::uint64_t total = watches_.capacity() * sizeof(std::vector<Watcher>);
   for (const auto& ws : watches_) total += ws.capacity() * sizeof(Watcher);
+  return total;
+}
+
+std::uint64_t Solver::memory_bytes() const {
+  // The clause arena and watch lists dominate (and are the only parts that
+  // grow during search); the per-variable state is counted so a cap sized
+  // below the formula's own footprint trips immediately instead of never.
+  std::uint64_t total = arena_.bytes() + watch_bytes_now();
+  total += value_.capacity() * sizeof(std::uint8_t);
+  total += phase_.capacity() * sizeof(std::uint8_t);
+  total += seen_.capacity() * sizeof(std::uint8_t);
+  total += level_.capacity() * sizeof(std::uint32_t);
+  total += trail_.capacity() * sizeof(Lit);
+  total += reason_.capacity() * sizeof(Reason);
+  total += activity_.capacity() * sizeof(double);
+  total += heap_.capacity() * sizeof(std::uint32_t);
+  total += heap_pos_.capacity() * sizeof(std::int32_t);
+  total += learnt_refs_.capacity() * sizeof(ClauseRef);
   return total;
 }
 
@@ -1271,12 +1290,44 @@ Status Solver::search(const Limits& limits) {
   luby_budget_ = luby(++luby_index_) * config_.luby_unit;
   reduce_budget_ = config_.reduce_first;
 
+  // Memory budgets: sampled on a 64-conflict cadence (memory_bytes() is not
+  // O(1) in nested-watch mode) plus once up front, so a hard cap below even
+  // the formula's own footprint returns memout immediately rather than
+  // never. Soft-cap reductions are spaced out — a footprint reduce_db()
+  // cannot shrink (protected/locked clauses, watch-list high water) must
+  // not retrigger a full reduction pass every conflict.
+  const bool mem_capped =
+      limits.soft_memory_bytes != 0 || limits.hard_memory_bytes != 0;
+  std::uint64_t next_mem_check = stats_.conflicts;
+  std::uint64_t soft_reduce_at = 0;
+  const auto memory_exhausted = [&]() -> bool {
+    if (!mem_capped || stats_.conflicts < next_mem_check) return false;
+    next_mem_check = stats_.conflicts + 64;
+    std::uint64_t bytes = memory_bytes();
+    if (limits.soft_memory_bytes != 0 && bytes > limits.soft_memory_bytes &&
+        stats_.conflicts >= soft_reduce_at) {
+      soft_reduce_at = stats_.conflicts + 512;
+      reduce_db();
+      ++stats_.memory_reductions;
+      bytes = memory_bytes();
+    }
+    if (limits.hard_memory_bytes != 0 && bytes > limits.hard_memory_bytes) {
+      ++stats_.memout_stops;
+      return true;
+    }
+    return false;
+  };
+
   std::vector<Lit> learnt;
   for (;;) {
     // Checked every iteration (conflicts included) so portfolio losers stop
     // promptly even inside long conflict bursts.
     if (limits.terminate != nullptr &&
         limits.terminate->load(std::memory_order_relaxed)) {
+      backtrack(0);
+      return Status::kUnknown;
+    }
+    if (memory_exhausted()) {
       backtrack(0);
       return Status::kUnknown;
     }

@@ -238,6 +238,14 @@ struct Stats {
   /// Heap footprint of the watch lists in bytes — a gauge refreshed at
   /// every solve() exit, not a monotonic counter.
   std::uint64_t watch_bytes = 0;
+  /// Total solver heap footprint in bytes (arena + watch lists + per-var
+  /// state) — a gauge refreshed at every solve() exit, like watch_bytes.
+  std::uint64_t memory_bytes = 0;
+  /// reduce_db() passes forced by Limits::soft_memory_bytes.
+  std::uint64_t memory_reductions = 0;
+  /// Searches stopped by Limits::hard_memory_bytes (the solve returned
+  /// Status::kUnknown with reason "memout"; state stays valid/resumable).
+  std::uint64_t memout_stops = 0;
 };
 
 /// Per-worker clause-sharing filter: only learnt clauses at most this glue
@@ -267,11 +275,20 @@ struct Limits {
   std::uint64_t max_conflicts = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_decisions = std::numeric_limits<std::uint64_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();  ///< wall-clock
-  /// External cancellation (portfolio first-finisher-wins): when non-null
-  /// and set, solve() backtracks to level 0 and returns Status::kUnknown at
-  /// the next checkpoint. The solver only reads through this pointer; the
-  /// clause database and stats stay valid and a later solve() may resume.
+  /// External cancellation (portfolio first-finisher-wins, server deadline
+  /// watchdog): when non-null and set, solve() backtracks to level 0 and
+  /// returns Status::kUnknown at the next checkpoint. The solver only reads
+  /// through this pointer; the clause database and stats stay valid and a
+  /// later solve() may resume.
   const std::atomic<bool>* terminate = nullptr;
+  /// Memory budgets over Solver::memory_bytes() (0 = unlimited), checked on
+  /// the conflict checkpoint cadence like the other budgets. Crossing the
+  /// soft cap forces a reduce_db() pass (rate-limited so a footprint that
+  /// will not shrink cannot thrash); crossing the hard cap stops the search
+  /// with Status::kUnknown and Stats::memout_stops incremented — instead of
+  /// dying inside operator new. The solver stays valid and reusable.
+  std::uint64_t soft_memory_bytes = 0;
+  std::uint64_t hard_memory_bytes = 0;
 };
 
 /// Thread model: a Solver instance is confined to one thread at a time (no
@@ -363,6 +380,14 @@ class Solver {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   /// The configuration this solver was constructed with (immutable).
   [[nodiscard]] const SolverConfig& config() const { return config_; }
+
+  /// Current heap footprint in bytes: clause arena + watch lists + the
+  /// per-variable/trail state. The quantity Limits::soft_memory_bytes /
+  /// hard_memory_bytes budget. O(1) in flat-watch mode; O(num_vars) with
+  /// the nested fallback engine (per-list capacity sum), which is why the
+  /// search loop samples it on the conflict checkpoint cadence rather than
+  /// every iteration.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
 
   /// Debug walker (tests only; O(database)): verifies the watch invariants
   /// of whichever engine is active — every live arena clause is watched

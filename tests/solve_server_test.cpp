@@ -362,7 +362,7 @@ TEST(SolveServer, ParseRequestAcceptsFullForm) {
   EXPECT_EQ(req->limits.max_conflicts, 100u);
   EXPECT_FALSE(req->use_cache);
   ASSERT_TRUE(req->expect.has_value());
-  EXPECT_EQ(*req->expect, sat::Status::kUnsat);
+  EXPECT_EQ(*req->expect, core::Expectation::kUnsat);
   EXPECT_EQ(req->instance, ServerRequest::Instance::kFamily);
   EXPECT_EQ(req->payload, "adder_miter:8");
 }
